@@ -1,0 +1,11 @@
+"""E7 — Section 4.3.
+
+Regenerates the corresponding table/series from DESIGN.md's experiment index
+and asserts the reproduced claims hold.
+"""
+
+from repro.experiments.experiments import e7_flooding
+
+
+def test_e7_flooding(report):
+    report(e7_flooding)

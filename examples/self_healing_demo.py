@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Self-stabilization from a deliberately corrupted initial state.
+
+This demo wires 14 subscribers into a hostile initial configuration — wrong
+and duplicated labels, partitioned neighbour chains, a corrupted supervisor
+database and garbage in-flight messages — and then simply lets the protocol
+run.  It prints convergence progress (how many subscribers already hold their
+correct label) until the overlay is the legitimate skip ring, demonstrating
+Theorem 8 end to end.
+
+Run with::
+
+    python examples/self_healing_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.convergence import count_correct_labels
+from repro.workloads.initial_states import AdversarialConfig, build_adversarial_system
+from repro.workloads.publications import scatter_publications
+
+
+def main() -> None:
+    config = AdversarialConfig(
+        n=14,
+        seed=2024,
+        database_mode="corrupted",
+        components=3,
+        fraction_unlabeled=0.3,
+        fraction_random_labels=0.5,
+        corrupted_messages=25,
+    )
+    system, subscribers = build_adversarial_system(config)
+    keys = scatter_publications(system, subscribers, count=6, seed=1)
+
+    print("Initial state:")
+    print(f"  supervisor database corrupted: "
+          f"{system.supervisor.database().is_corrupted()}")
+    print(f"  subscribers with correct label: "
+          f"{count_correct_labels(system.supervisor, system.subscribers, system.members(), 'default')}"
+          f"/{config.n}")
+    print(f"  legitimate: {system.is_legitimate()}")
+
+    print("\nRunning the protocol ...")
+    step = 10
+    for rounds in range(step, 301, step):
+        system.run_rounds(step)
+        correct = count_correct_labels(system.supervisor, system.subscribers,
+                                       system.members(), "default")
+        report = system.legitimacy_report()
+        print(f"  after {rounds:>3} rounds: correct labels {correct:>2}/{config.n}, "
+              f"db_ok={report.database_ok} ring_ok={report.ring_ok} "
+              f"shortcuts_ok={report.shortcuts_ok}")
+        if report.legitimate:
+            break
+
+    print(f"\nLegitimate skip ring reached: {system.is_legitimate()}")
+    delivered = system.run_until_publications_converged(expected_keys=keys, max_rounds=600)
+    print(f"Publications that pre-existed the corruption reached everyone: {delivered}")
+
+
+if __name__ == "__main__":
+    main()

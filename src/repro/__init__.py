@@ -1,0 +1,67 @@
+"""repro — Self-Stabilizing Supervised Publish-Subscribe Systems.
+
+A simulation-grade but complete reproduction of Feldmann, Kolb, Scheideler and
+Strothmann, *Self-Stabilizing Supervised Publish-Subscribe Systems* (2018):
+
+* the supervised **skip ring** overlay and its self-stabilizing construction
+  protocol **BuildSR** (supervisor + subscriber sub-protocols),
+* the self-stabilizing **publish-subscribe** layer (Patricia-trie
+  anti-entropy plus flooding of new publications),
+* the asynchronous message-passing **simulation substrate** the protocol runs
+  on, adversarial initial-state and churn **workloads**, reference
+  **baselines** (Chord, skip graph, centralized broker), and the
+  **experiments** reproducing every quantitative claim of the paper.
+
+Quickstart
+----------
+>>> from repro import SupervisedPubSub
+>>> system = SupervisedPubSub(seed=1)
+>>> peers = [system.add_subscriber() for _ in range(16)]
+>>> system.run_until_legitimate()
+True
+>>> pub = system.publish(peers[0], b"breaking news")
+>>> system.run_rounds(40)
+>>> system.all_subscribers_have(pub.key)
+True
+"""
+
+from repro.core import (
+    PAPER_DEFAULTS,
+    PSEUDOCODE_VARIANT,
+    ProtocolParams,
+    SkipRingTopology,
+    Subscriber,
+    SupervisedPubSub,
+    Supervisor,
+    SUPERVISOR_ID,
+    build_skip_ring,
+    build_stable_system,
+    index_of,
+    label_of,
+    r_value,
+)
+from repro.pubsub import PatriciaTrie, Publication
+from repro.sim import Simulator, SimulatorConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProtocolParams",
+    "PAPER_DEFAULTS",
+    "PSEUDOCODE_VARIANT",
+    "SkipRingTopology",
+    "build_skip_ring",
+    "Subscriber",
+    "Supervisor",
+    "SupervisedPubSub",
+    "SUPERVISOR_ID",
+    "build_stable_system",
+    "label_of",
+    "index_of",
+    "r_value",
+    "PatriciaTrie",
+    "Publication",
+    "Simulator",
+    "SimulatorConfig",
+    "__version__",
+]

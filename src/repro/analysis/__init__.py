@@ -1,0 +1,33 @@
+"""Analysis helpers: legitimacy predicates, graph metrics and statistics."""
+
+from repro.analysis.convergence import (
+    LegitimacyReport,
+    ring_legitimate,
+    publications_converged,
+    count_correct_labels,
+    edge_set_signature,
+)
+from repro.analysis.graph_metrics import (
+    degree_statistics,
+    diameter,
+    routing_congestion,
+    broadcast_load,
+    position_balance,
+)
+from repro.analysis.stats import summarize, confidence_interval, Summary
+
+__all__ = [
+    "LegitimacyReport",
+    "ring_legitimate",
+    "publications_converged",
+    "count_correct_labels",
+    "edge_set_signature",
+    "degree_statistics",
+    "diameter",
+    "routing_congestion",
+    "broadcast_load",
+    "position_balance",
+    "summarize",
+    "confidence_interval",
+    "Summary",
+]

@@ -1,0 +1,70 @@
+"""Small statistics helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+        }
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    data = np.array(list(values), dtype=float)
+    if data.size == 0:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return Summary(
+        count=int(data.size),
+        mean=float(data.mean()),
+        std=float(data.std(ddof=1)) if data.size > 1 else 0.0,
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+        median=float(np.median(data)),
+    )
+
+
+def confidence_interval(values: Sequence[float], confidence: float = 0.95) -> Tuple[float, float]:
+    """Normal-approximation confidence interval for the mean.
+
+    Sufficient for the experiment harness, which reports trends rather than
+    tight error bars; returns ``(mean, mean)`` for fewer than two samples.
+    """
+    data = np.array(list(values), dtype=float)
+    if data.size == 0:
+        return (0.0, 0.0)
+    mean = float(data.mean())
+    if data.size < 2:
+        return (mean, mean)
+    std_err = float(data.std(ddof=1)) / math.sqrt(data.size)
+    # z-value for the requested two-sided confidence level
+    z = {0.90: 1.645, 0.95: 1.96, 0.99: 2.576}.get(round(confidence, 2), 1.96)
+    return (mean - z * std_err, mean + z * std_err)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio used in speedup/overhead columns."""
+    if denominator == 0:
+        return float("inf") if numerator > 0 else 1.0
+    return numerator / denominator

@@ -1,0 +1,135 @@
+"""Chord-style overlay baseline (Stoica et al.), used by experiment E8.
+
+Nodes are placed on the identifier circle by hashing, and every node keeps a
+successor pointer plus ``m`` fingers (the successor of ``id + 2^i``).  The
+paper's point of comparison is that the supervisor's deterministic label
+assignment spreads nodes perfectly evenly on the ring, whereas Chord's hashed
+placement leaves gaps that differ by a logarithmic factor, which translates
+into less balanced routing load ("our network has a better congestion than
+these networks", Section 1.3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+
+class ChordTopology:
+    """A static Chord ring over ``n`` nodes with ``bits``-bit identifiers."""
+
+    def __init__(self, n: int, bits: int = 32, seed: int = 0) -> None:
+        if n < 1:
+            raise ValueError("n must be positive")
+        self.n = n
+        self.bits = bits
+        self.space = 2 ** bits
+        rng = random.Random(seed)
+        # Hash-based identifiers (salted per seed), deduplicated.
+        ids: Set[int] = set()
+        counter = 0
+        while len(ids) < n:
+            raw = f"chord-{seed}-{counter}".encode()
+            ids.add(int.from_bytes(hashlib.sha256(raw).digest(), "big") % self.space)
+            counter += 1
+        self.node_ids: List[int] = sorted(ids)
+        self._successor_cache: Dict[int, int] = {}
+        rng.shuffle  # rng retained for API symmetry; placement is hash-based
+
+    # ------------------------------------------------------------------ rings
+    def successor(self, point: int) -> int:
+        """The first node identifier clockwise from ``point`` (inclusive)."""
+        point %= self.space
+        if point in self._successor_cache:
+            return self._successor_cache[point]
+        # binary search over the sorted identifier list
+        lo, hi = 0, len(self.node_ids)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.node_ids[mid] < point:
+                lo = mid + 1
+            else:
+                hi = mid
+        result = self.node_ids[lo % len(self.node_ids)]
+        self._successor_cache[point] = result
+        return result
+
+    def fingers(self, node_id: int) -> List[int]:
+        """Finger table of ``node_id``: successor(node_id + 2^i) for all i."""
+        out = []
+        for i in range(self.bits):
+            target = (node_id + (1 << i)) % self.space
+            finger = self.successor(target)
+            if finger != node_id:
+                out.append(finger)
+        return sorted(set(out))
+
+    def edges(self) -> Set[Tuple[int, int]]:
+        """Undirected edge set: ring successors plus all fingers."""
+        edges: Set[Tuple[int, int]] = set()
+        for index, node_id in enumerate(self.node_ids):
+            succ = self.node_ids[(index + 1) % self.n]
+            if succ != node_id:
+                edges.add(_norm(node_id, succ))
+            for finger in self.fingers(node_id):
+                edges.add(_norm(node_id, finger))
+        return edges
+
+    def to_networkx(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(self.node_ids)
+        graph.add_edges_from(self.edges())
+        return graph
+
+    # --------------------------------------------------------------- metrics
+    def positions(self) -> List[float]:
+        """Ring positions in [0, 1) (for the placement-balance metric)."""
+        return [node_id / self.space for node_id in self.node_ids]
+
+    def degrees(self) -> List[int]:
+        graph = self.to_networkx()
+        return [d for _, d in graph.degree()]
+
+    def diameter(self) -> int:
+        return int(nx.diameter(self.to_networkx())) if self.n > 1 else 0
+
+    def greedy_route(self, source: int, target: int, max_hops: int = 10_000) -> List[int]:
+        """Greedy clockwise routing using fingers (standard Chord lookup).
+
+        Returns the node path from ``source`` to the node responsible for
+        ``target`` (i.e. ``successor(target)``).
+        """
+        responsible = self.successor(target)
+        path = [source]
+        current = source
+        hops = 0
+        while current != responsible and hops < max_hops:
+            candidates = self.fingers(current) + [self._ring_successor(current)]
+            # pick the candidate that gets closest to target without passing it
+            best = None
+            best_gap = None
+            for cand in candidates:
+                gap = (responsible - cand) % self.space
+                if best_gap is None or gap < best_gap:
+                    best_gap = gap
+                    best = cand
+            if best is None or best == current:
+                break
+            current = best
+            path.append(current)
+            hops += 1
+        return path
+
+    def _ring_successor(self, node_id: int) -> int:
+        index = self.node_ids.index(node_id)
+        return self.node_ids[(index + 1) % self.n]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChordTopology(n={self.n}, bits={self.bits})"
+
+
+def _norm(u: int, v: int) -> Tuple[int, int]:
+    return (u, v) if u <= v else (v, u)

@@ -1,0 +1,202 @@
+"""Label algebra for the supervised skip ring (paper Section 2.1).
+
+The supervisor assigns every subscriber a *label*: the ``x``-th subscriber to
+join receives ``l(x)``, where ``l`` takes the binary representation
+``(x_d ... x_0)_2`` of ``x`` (with ``d`` minimal, i.e. ``x_d`` is the leading
+bit) and moves the leading bit to the units place::
+
+    l(x) = (x_{d-1} ... x_0 x_d)
+
+producing the sequence ``0, 1, 01, 11, 001, 011, 101, 111, 0001, ...``.
+
+A label ``y = (y_1 ... y_d)`` is interpreted as the dyadic rational
+
+    r(y) = sum_i y_i / 2^i  ∈ [0, 1)
+
+which places subscribers on a ring.  The construction guarantees that the
+labels handed out for ``x ∈ {2^d, ..., 2^{d+1}-1}`` fall exactly halfway
+between previously used positions, so consecutive joins are spread uniformly
+around the ring (the property behind Theorem 7's constant join overhead).
+
+Labels are represented as Python strings over ``{'0','1'}``; real values are
+exact :class:`fractions.Fraction` objects so that property-based tests can use
+arbitrarily long labels without floating-point error.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Optional
+
+#: Type alias used throughout the code base.
+Label = str
+
+
+def label_of(x: int) -> Label:
+    """Return ``l(x)``, the label of the ``x``-th subscriber (0-based).
+
+    >>> [label_of(i) for i in range(8)]
+    ['0', '1', '01', '11', '001', '011', '101', '111']
+    """
+    if x < 0:
+        raise ValueError("label index must be non-negative")
+    if x == 0:
+        return "0"
+    bits = bin(x)[2:]  # leading bit first: x_d x_{d-1} ... x_0
+    # Move the leading bit (always '1') to the units place.
+    return bits[1:] + bits[0]
+
+
+def index_of(label: Label) -> int:
+    """Inverse of :func:`label_of`: the join index ``l^{-1}(label)``.
+
+    >>> all(index_of(label_of(i)) == i for i in range(100))
+    True
+    """
+    _validate(label)
+    if label == "0":
+        return 0
+    if label[-1] != "1":
+        raise ValueError(f"{label!r} is not in the image of l (must end in '1')")
+    # label = x_{d-1} ... x_0 x_d  with x_d = 1
+    return int("1" + label[:-1], 2)
+
+
+def r_value(label: Label) -> Fraction:
+    """Return ``r(label) = sum_i label_i / 2^i`` as an exact fraction.
+
+    >>> r_value('101')
+    Fraction(5, 8)
+    """
+    _validate(label)
+    return Fraction(int(label, 2), 2 ** len(label))
+
+
+def r_float(label: Label) -> float:
+    """Floating-point convenience wrapper around :func:`r_value`."""
+    return float(r_value(label))
+
+
+def label_from_r(value: Fraction) -> Label:
+    """Return the canonical label whose ``r``-value equals ``value``.
+
+    ``value`` must be a dyadic rational in ``[0, 1)``.  The canonical label is
+    the shortest bit string with that value; ``0`` maps to the label ``'0'``
+    (the label of the first subscriber).
+
+    >>> label_from_r(Fraction(5, 8))
+    '101'
+    >>> label_from_r(Fraction(0))
+    '0'
+    """
+    value = Fraction(value)
+    if not 0 <= value < 1:
+        raise ValueError("r-value must lie in [0, 1)")
+    if value == 0:
+        return "0"
+    denominator = value.denominator
+    if denominator & (denominator - 1) != 0:
+        raise ValueError(f"{value} is not a dyadic rational")
+    bits = denominator.bit_length() - 1  # denominator = 2^bits
+    return format(value.numerator, f"0{bits}b")
+
+
+def label_length(label: Label) -> int:
+    """``|label|`` — the number of bits of the (canonical) label."""
+    _validate(label)
+    return len(label)
+
+
+def level_of_edge(label_u: Label, label_v: Label) -> int:
+    """Shortcut level of an edge: ``max(|label_u|, |label_v|)`` (Definition 2)."""
+    return max(label_length(label_u), label_length(label_v))
+
+
+def labels_up_to(n: int) -> List[Label]:
+    """Labels of the first ``n`` subscribers, ``[l(0), ..., l(n-1)]``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return [label_of(i) for i in range(n)]
+
+
+def sort_by_r(labels: Iterable[Label]) -> List[Label]:
+    """Sort labels by their position on the ring (ascending ``r``-value)."""
+    return sorted(labels, key=r_value)
+
+
+def compare(label_a: Label, label_b: Label) -> int:
+    """Three-way comparison of ring positions: -1, 0 or +1."""
+    ra, rb = r_value(label_a), r_value(label_b)
+    if ra < rb:
+        return -1
+    if ra > rb:
+        return 1
+    return 0
+
+
+def ring_distance(label_a: Label, label_b: Label) -> Fraction:
+    """Cyclic distance between two ring positions (in [0, 1/2])."""
+    diff = abs(r_value(label_a) - r_value(label_b))
+    return min(diff, 1 - diff)
+
+
+def linear_distance(label_a: Label, label_b: Label) -> Fraction:
+    """Absolute difference of ``r``-values (used by the linearization rule and
+    by SetData's "is the stored neighbour closer?" check, Algorithm 4 line 18)."""
+    return abs(r_value(label_a) - r_value(label_b))
+
+
+def is_valid_label(label: object) -> bool:
+    """True if ``label`` is a non-empty string over {'0','1'}."""
+    return (
+        isinstance(label, str)
+        and len(label) > 0
+        and all(c in "01" for c in label)
+    )
+
+
+def is_canonical_label(label: object) -> bool:
+    """True if ``label`` could have been produced by :func:`label_of`
+    (i.e. it is ``'0'`` or ends in ``'1'``)."""
+    return is_valid_label(label) and (label == "0" or label[-1] == "1")
+
+
+def max_level(n: int) -> int:
+    """``⌈log2 n⌉`` — the highest shortcut/ring level of ``SR(n)`` (n ≥ 1).
+
+    By convention ``max_level(1) == 1`` so a single-node system still has a
+    well-defined (trivial) level structure.
+    """
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    if n == 1:
+        return 1
+    return (n - 1).bit_length()
+
+
+def count_labels_of_length(k: int, n: Optional[int] = None) -> int:
+    """``f(k)``: number of subscribers with label length ``k``.
+
+    With ``n`` omitted this is the full-level count used in Lemma 3
+    (``f(1) = 2``, ``f(k) = 2^{k-1}`` for ``k > 1``).  With ``n`` given, the
+    count is restricted to the first ``n`` labels ``l(0..n-1)``.
+    """
+    if k < 1:
+        raise ValueError("label length must be >= 1")
+    full = 2 if k == 1 else 2 ** (k - 1)
+    if n is None:
+        return full
+    # Labels of length k correspond to indices {0,1} for k=1 and
+    # {2^{k-1}, ..., 2^k - 1} for k > 1.
+    if k == 1:
+        lo, hi = 0, 1
+    else:
+        lo, hi = 2 ** (k - 1), 2 ** k - 1
+    if n <= lo:
+        return 0
+    return min(hi, n - 1) - lo + 1
+
+
+def _validate(label: object) -> None:
+    if not is_valid_label(label):
+        raise ValueError(f"invalid label: {label!r}")

@@ -1,0 +1,248 @@
+"""Ideal skip-ring topology ``SR(n)`` (paper Definition 2) and its analysis.
+
+This module constructs the *target* topology that the self-stabilizing
+protocol converges to, independent of any simulation.  It is used
+
+* by the analysis layer to verify that a stabilized simulation matches the
+  ideal topology,
+* by experiment E1 to reproduce Lemma 3 (degree bounds, edge count 4n − 4,
+  constant average degree) and the logarithmic-diameter claim, and
+* by the baselines comparison (E8) as the supervised topology under test.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.core.labels import (
+    Label,
+    label_length,
+    label_of,
+    labels_up_to,
+    max_level,
+    r_value,
+)
+from repro.core.shortcuts import shortcut_labels
+
+Edge = Tuple[int, int]
+
+
+class SkipRingTopology:
+    """The ideal supervised skip ring over ``n`` subscribers.
+
+    Nodes are identified by their join index ``0..n-1``; node ``i`` carries
+    label ``l(i)``.  Edges are undirected pairs of node indices (the protocol
+    maintains them bidirectionally).
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("a skip ring needs at least one node")
+        self.n = n
+        self.labels: List[Label] = labels_up_to(n)
+        self.index_by_label: Dict[Label, int] = {
+            lbl: i for i, lbl in enumerate(self.labels)
+        }
+        self.top_level = max_level(n)
+        self._ring_edges: Optional[Set[Edge]] = None
+        self._shortcut_edges: Optional[Dict[int, Set[Edge]]] = None
+
+    # ------------------------------------------------------------------ rings
+    def ring_order(self, level: Optional[int] = None) -> List[int]:
+        """Node indices sorted by ring position, restricted to ``K_level``
+        (nodes with label length ≤ level).  ``None`` means all nodes."""
+        if level is None:
+            members = range(self.n)
+        else:
+            members = [i for i in range(self.n) if label_length(self.labels[i]) <= level]
+        return sorted(members, key=lambda i: r_value(self.labels[i]))
+
+    @staticmethod
+    def _cycle_edges(order: List[int]) -> Set[Edge]:
+        """Undirected edges of the cyclic sorted ring over ``order``."""
+        m = len(order)
+        if m <= 1:
+            return set()
+        if m == 2:
+            return {_norm(order[0], order[1])}
+        return {_norm(order[i], order[(i + 1) % m]) for i in range(m)}
+
+    def ring_edges(self) -> Set[Edge]:
+        """``E_R``: edges between consecutive nodes in the full ring."""
+        if self._ring_edges is None:
+            self._ring_edges = self._cycle_edges(self.ring_order())
+        return set(self._ring_edges)
+
+    def shortcut_edges_by_level(self) -> Dict[int, Set[Edge]]:
+        """``E_S`` grouped by level ``i ∈ {1, ..., ⌈log n⌉ − 1}``.
+
+        An edge belongs to level ``i`` if it is part of the sorted ring over
+        ``K_i`` and ``i = max(|label_u|, |label_v|)`` (Definition 2).  Edges of
+        ``E_R`` are excluded (they live on level ``⌈log n⌉``).
+        """
+        if self._shortcut_edges is None:
+            ring = self.ring_edges()
+            by_level: Dict[int, Set[Edge]] = defaultdict(set)
+            for level in range(1, self.top_level):
+                for edge in self._cycle_edges(self.ring_order(level)):
+                    if edge in ring:
+                        continue
+                    u, v = edge
+                    lvl = max(label_length(self.labels[u]), label_length(self.labels[v]))
+                    by_level[lvl].add(edge)
+            self._shortcut_edges = dict(by_level)
+        return {lvl: set(edges) for lvl, edges in self._shortcut_edges.items()}
+
+    def shortcut_edges(self) -> Set[Edge]:
+        out: Set[Edge] = set()
+        for edges in self.shortcut_edges_by_level().values():
+            out |= edges
+        return out
+
+    def edges(self) -> Set[Edge]:
+        """``E_R ∪ E_S`` as undirected edges."""
+        return self.ring_edges() | self.shortcut_edges()
+
+    # --------------------------------------------------------------- per node
+    def label(self, node: int) -> Label:
+        return self.labels[node]
+
+    def ring_neighbors(self, node: int) -> Tuple[int, int]:
+        """(predecessor, successor) of ``node`` on the full ring."""
+        order = self.ring_order()
+        pos = order.index(node)
+        return order[pos - 1], order[(pos + 1) % len(order)]
+
+    def neighbors(self, node: int) -> Set[int]:
+        out: Set[int] = set()
+        for u, v in self.edges():
+            if u == node:
+                out.add(v)
+            elif v == node:
+                out.add(u)
+        return out
+
+    def degree(self, node: int) -> int:
+        return len(self.neighbors(node))
+
+    def degrees(self) -> List[int]:
+        counts = [0] * self.n
+        for u, v in self.edges():
+            counts[u] += 1
+            counts[v] += 1
+        return counts
+
+    def average_degree(self) -> float:
+        return sum(self.degrees()) / self.n
+
+    def max_degree(self) -> int:
+        return max(self.degrees())
+
+    def num_edges(self) -> int:
+        return len(self.edges())
+
+    def diameter(self) -> int:
+        """Hop diameter of the undirected graph ``(V, E_R ∪ E_S)``."""
+        return nx.diameter(self.to_networkx()) if self.n > 1 else 0
+
+    def to_networkx(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.n))
+        graph.add_edges_from(self.edges())
+        return graph
+
+    # -------------------------------------------------- legitimate-state spec
+    def expected_subscriber_state(self, node: int) -> Dict[str, object]:
+        """The per-subscriber variable assignment in a legitimate state.
+
+        Returns a dict with keys ``label``, ``left``, ``right``, ``ring`` and
+        ``shortcuts``:
+
+        * ``left``/``right`` are the node indices of the list neighbours
+          (``None`` at the minimum/maximum position respectively),
+        * ``ring`` is the wrap-around partner for the minimum and maximum
+          nodes and ``None`` for everyone else,
+        * ``shortcuts`` maps shortcut labels (as computed locally by the
+          protocol from the ring-neighbour labels) to node indices.
+        """
+        order = self.ring_order()
+        pos = order.index(node)
+        own_label = self.labels[node]
+        pred = order[pos - 1] if pos > 0 else None
+        succ = order[pos + 1] if pos + 1 < len(order) else None
+        ring: Optional[int] = None
+        if self.n >= 2:
+            if pos == 0:
+                ring = order[-1]
+            elif pos == len(order) - 1:
+                ring = order[0]
+        pred_label = self.labels[pred] if pred is not None else (
+            self.labels[ring] if ring is not None and pos == 0 else None)
+        succ_label = self.labels[succ] if succ is not None else (
+            self.labels[ring] if ring is not None and pos == len(order) - 1 else None)
+        targets = shortcut_labels(own_label, pred_label, succ_label)
+        shortcuts = {
+            lbl: self.index_by_label[lbl]
+            for lbl in targets
+            if lbl in self.index_by_label
+        }
+        return {
+            "label": own_label,
+            "left": pred,
+            "right": succ,
+            "ring": ring,
+            "shortcuts": shortcuts,
+        }
+
+    def expected_edge_set(self) -> FrozenSet[Edge]:
+        """The undirected explicit edge set a legitimate run must exhibit.
+
+        This is the union of the full ring edges and, for every node, its
+        locally computed shortcut targets.  (For powers of two this coincides
+        with :meth:`edges`; for other ``n`` the locally computable shortcut
+        set omits shortcuts that duplicate ring edges, which the protocol does
+        not maintain separately.)
+        """
+        edges: Set[Edge] = set(self.ring_edges())
+        for node in range(self.n):
+            spec = self.expected_subscriber_state(node)
+            for target in spec["shortcuts"].values():  # type: ignore[union-attr]
+                edges.add(_norm(node, target))
+        return frozenset(edges)
+
+    # -------------------------------------------------------- analytic bounds
+    @staticmethod
+    def worst_case_degree_bound(n: int) -> int:
+        """Lemma 3 upper bound ``2(⌈log n⌉ − 1 + 1) = 2·⌈log n⌉``
+        (the bound for a node with label length 1)."""
+        return 2 * max_level(n)
+
+    @staticmethod
+    def edge_count_formula(n: int) -> int:
+        """Lemma 3's closed form ``4n − 4`` for the number of undirected edges
+        (exact when ``n`` is a power of two and ``n ≥ 2``)."""
+        return 4 * n - 4
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SkipRingTopology(n={self.n}, top_level={self.top_level})"
+
+
+def _norm(u: int, v: int) -> Edge:
+    return (u, v) if u <= v else (v, u)
+
+
+def build_skip_ring(n: int) -> SkipRingTopology:
+    """Convenience constructor mirroring the paper's ``SR(n)`` notation."""
+    return SkipRingTopology(n)
+
+
+def figure1_rows(n: int = 16) -> List[Tuple[int, Label, str]]:
+    """The triples ``(x, l(x), r(l(x)))`` shown in Figure 1 of the paper."""
+    rows = []
+    for x in range(n):
+        lbl = label_of(x)
+        rows.append((x, lbl, str(r_value(lbl))))
+    return rows

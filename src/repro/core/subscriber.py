@@ -1,0 +1,727 @@
+"""The subscriber's part of BuildSR plus the publication protocol.
+
+A subscriber runs one protocol instance (:class:`TopicView`) per topic it
+participates in (Section 4).  Each view maintains
+
+* ``label`` — the label assigned by the supervisor (or ``None``),
+* ``left`` / ``right`` — the list neighbours of the sorted ring,
+* ``ring`` — the wrap-around neighbour if the node occupies the minimal or
+  maximal ring position,
+* ``shortcuts`` — shortcut targets keyed by their (locally computed) labels,
+* a Patricia trie of publications.
+
+The periodic ``Timeout`` performs, in order: the extended BuildRing
+maintenance (linearization with label correction, Section 2.2 and
+Algorithms 1–2), the probabilistic configuration requests to the supervisor
+(Section 3.2.1, actions (i)–(iv)), shortcut maintenance and the pairwise
+shortcut introductions (Section 3.2.2), and one anti-entropy exchange with a
+random ring neighbour (Algorithm 5).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+from repro.core import messages as msg
+from repro.core.config import ProtocolParams
+from repro.core.labels import (
+    Label,
+    is_valid_label,
+    label_length,
+    linear_distance,
+    r_value,
+)
+from repro.core.shortcuts import shortcut_labels, shortcut_labels_from_neighbor
+from repro.pubsub.antientropy import (
+    handle_check_and_publish,
+    handle_check_trie,
+    initial_check_trie,
+)
+from repro.pubsub.flooding import flood_fanout
+from repro.pubsub.patricia import PatriciaTrie
+from repro.pubsub.publications import Publication
+from repro.sim.node import NodeRef, ProtocolNode
+
+
+class Neighbor(NamedTuple):
+    """A stored reference together with the label the holder believes it has."""
+
+    label: Label
+    ref: NodeRef
+
+
+class TopicView:
+    """Per-topic protocol state of a subscriber."""
+
+    def __init__(self, owner: "Subscriber", topic: str, subscribed: bool) -> None:
+        self.owner = owner
+        self.topic = topic
+        self.subscribed = subscribed
+        self.pending_unsubscribe = False
+        self.label: Optional[Label] = None
+        self.left: Optional[Neighbor] = None
+        self.right: Optional[Neighbor] = None
+        self.ring: Optional[Neighbor] = None
+        self.shortcuts: Dict[Label, Optional[NodeRef]] = {}
+        self.trie = PatriciaTrie(key_bits=owner.params.publication_key_bits)
+        #: number of SetData messages that actually changed label or neighbours
+        self.config_change_count = 0
+
+    # ------------------------------------------------------------- shorthands
+    @property
+    def node_id(self) -> NodeRef:
+        return self.owner.node_id
+
+    @property
+    def params(self) -> ProtocolParams:
+        return self.owner.params
+
+    @property
+    def rng(self) -> random.Random:
+        return self.owner.rng
+
+    def send(self, dest: Optional[NodeRef], action: str, **params) -> None:
+        self.owner.send(dest, action, topic=self.topic, **params)
+
+    def send_supervisor(self, action: str, **params) -> None:
+        self.owner.send(self.owner.supervisor_id, action, topic=self.topic, **params)
+
+    # ------------------------------------------------------------- inspection
+    def effective_left(self) -> Optional[Neighbor]:
+        """The left ring neighbour, whether stored in ``left`` or ``ring``."""
+        if self.left is not None:
+            return self.left
+        if self.ring is not None and self.label is not None and \
+                r_value(self.ring.label) > r_value(self.label):
+            return self.ring
+        return None
+
+    def effective_right(self) -> Optional[Neighbor]:
+        """The right ring neighbour, whether stored in ``right`` or ``ring``."""
+        if self.right is not None:
+            return self.right
+        if self.ring is not None and self.label is not None and \
+                r_value(self.ring.label) < r_value(self.label):
+            return self.ring
+        return None
+
+    def neighbor_refs(self) -> Set[NodeRef]:
+        """All explicit neighbour references (ring + shortcuts)."""
+        refs: Set[NodeRef] = set()
+        for nb in (self.left, self.right, self.ring):
+            if nb is not None:
+                refs.add(nb.ref)
+        refs.update(ref for ref in self.shortcuts.values() if ref is not None)
+        refs.discard(self.node_id)
+        return refs
+
+    def ring_neighbor_refs(self) -> Set[NodeRef]:
+        refs: Set[NodeRef] = set()
+        for nb in (self.left, self.right, self.ring):
+            if nb is not None and nb.ref != self.node_id:
+                refs.add(nb.ref)
+        return refs
+
+    def believes_minimal_and_unanchored(self) -> bool:
+        """Action (iv) trigger: the node locally looks like the minimum but has
+        no wrap-around partner (so it may be the head of an unrecorded
+        component), or it is completely isolated."""
+        if self.label is None:
+            return False
+        return self.left is None and self.ring is None
+
+    # ==================================================================== ring
+    def timeout(self) -> None:
+        if not self.subscribed and self.label is None and not self._has_any_connection():
+            return
+        if self.label is None:
+            self._timeout_without_label()
+            return
+        self._sanitize_sides()
+        self._introduce_to_neighbors()
+        self._supervisor_requests()
+        if self.params.shortcut_maintenance:
+            self._maintain_shortcuts()
+        if self.params.enable_anti_entropy:
+            self._anti_entropy_round()
+
+    def _has_any_connection(self) -> bool:
+        return bool(self.neighbor_refs())
+
+    def _timeout_without_label(self) -> None:
+        """Algorithm 2 (label = ⊥ branch) + action (i) of Section 3.2.1."""
+        for nb in (self.left, self.right, self.ring):
+            if nb is not None:
+                self.send(nb.ref, msg.REMOVE_CONNECTIONS, node=self.node_id)
+        for ref in set(self.shortcuts.values()):
+            if ref is not None:
+                self.send(ref, msg.REMOVE_CONNECTIONS, node=self.node_id)
+        self.left = self.right = self.ring = None
+        self.shortcuts = {}
+        if self.subscribed:
+            self.send_supervisor(msg.SUBSCRIBE, node=self.node_id)
+
+    def _sanitize_sides(self) -> None:
+        """Re-linearize neighbours that are on the wrong side of our label and
+        ring pointers that should not exist (Algorithms 1–2 Timeout)."""
+        assert self.label is not None
+        own = r_value(self.label)
+        if self.left is not None and r_value(self.left.label) >= own:
+            stale = self.left
+            self.left = None
+            self._integrate(stale.label, stale.ref)
+        if self.right is not None and r_value(self.right.label) <= own:
+            stale = self.right
+            self.right = None
+            self._integrate(stale.label, stale.ref)
+        if self.ring is not None:
+            if self.ring.ref == self.node_id:
+                self.ring = None
+            elif self.left is not None and self.right is not None:
+                # A node with both list neighbours is not an endpoint: the wrap
+                # pointer is stale, push it back into the list.
+                stale = self.ring
+                self.ring = None
+                self._integrate(stale.label, stale.ref)
+
+    def _introduce_to_neighbors(self) -> None:
+        """Periodically introduce ourselves to every direct ring neighbour,
+        carrying the label we believe they have (extended BuildRing)."""
+        assert self.label is not None
+        if self.left is not None:
+            self.send(self.left.ref, msg.INTRODUCE, node=self.node_id, label=self.label,
+                      believed=self.left.label, flag=msg.FLAG_LIN)
+        if self.right is not None:
+            self.send(self.right.ref, msg.INTRODUCE, node=self.node_id, label=self.label,
+                      believed=self.right.label, flag=msg.FLAG_LIN)
+        if self.ring is not None:
+            self.send(self.ring.ref, msg.INTRODUCE, node=self.node_id, label=self.label,
+                      believed=self.ring.label, flag=msg.FLAG_CYC)
+
+    def _supervisor_requests(self) -> None:
+        """Actions (ii) and (iv) of Section 3.2.1."""
+        assert self.label is not None
+        if self.pending_unsubscribe:
+            self.send_supervisor(msg.UNSUBSCRIBE, node=self.node_id)
+            return
+        if self.params.enable_minimal_request and self.believes_minimal_and_unanchored():
+            if self.rng.random() < self.params.minimal_request_probability:
+                self.send_supervisor(msg.GET_CONFIGURATION, node=self.node_id)
+                self.owner.configuration_requests += 1
+            return
+        probability = self.params.request_probability(label_length(self.label))
+        if self.rng.random() < probability:
+            self.send_supervisor(msg.GET_CONFIGURATION, node=self.node_id)
+            self.owner.configuration_requests += 1
+
+    # ------------------------------------------------------------- shortcuts
+    def _maintain_shortcuts(self) -> None:
+        """Recompute expected shortcut labels, prune stale entries, and
+        introduce our own-level neighbours to each other (Section 3.2.2)."""
+        assert self.label is not None
+        left_nb = self.effective_left()
+        right_nb = self.effective_right()
+        expected = shortcut_labels(
+            self.label,
+            left_nb.label if left_nb is not None else None,
+            right_nb.label if right_nb is not None else None,
+        )
+        # Prune entries whose label we no longer expect; delegate their refs
+        # into the ring so the references are not lost.
+        for stale_label in [l for l in self.shortcuts if l not in expected]:
+            ref = self.shortcuts.pop(stale_label)
+            if ref is not None and ref != self.node_id:
+                self._integrate(stale_label, ref)
+        for wanted in expected:
+            self.shortcuts.setdefault(wanted, None)
+
+        self._introduce_own_level_pair(expected, left_nb, right_nb)
+
+    def _introduce_own_level_pair(self, expected: Set[Label],
+                                  left_nb: Optional[Neighbor],
+                                  right_nb: Optional[Neighbor]) -> None:
+        """A node of level ``k = |label|`` introduces its two neighbours in the
+        level-``k`` ring to each other (Algorithm 4, lines 12–14).
+
+        On each side, the level-``k`` neighbour is either the terminal label of
+        the shortcut recursion (when the ring neighbour on that side is deeper
+        than we are) or the ring neighbour itself (when it is not).
+        """
+        assert self.label is not None
+        pair: List[Neighbor] = []
+        for nb in (left_nb, right_nb):
+            if nb is None:
+                continue
+            chain = shortcut_labels_from_neighbor(self.label, nb.label)
+            if chain:
+                target_label = chain[-1]
+                ref = self.shortcuts.get(target_label)
+                if ref is not None:
+                    pair.append(Neighbor(target_label, ref))
+            else:
+                pair.append(nb)
+        unique = {nb.ref: nb for nb in pair if nb.ref != self.node_id}
+        if len(unique) != 2:
+            return
+        first, second = list(unique.values())
+        self.send(first.ref, msg.INTRODUCE_SHORTCUT, node=second.ref, label=second.label)
+        self.send(second.ref, msg.INTRODUCE_SHORTCUT, node=first.ref, label=first.label)
+
+    # ------------------------------------------------------------- integrate
+    def _integrate(self, cand_label: Label, cand_ref: NodeRef, cyc: bool = False) -> None:
+        """Linearization: place a reference where it belongs or delegate it
+        towards its position (Algorithm 1 / Algorithm 2)."""
+        if cand_ref == self.node_id or not is_valid_label(cand_label):
+            return
+        if self.label is None:
+            self.send(cand_ref, msg.REMOVE_CONNECTIONS, node=self.node_id)
+            return
+        own = r_value(self.label)
+        cand_r = r_value(cand_label)
+        if cand_r == own:
+            # Two nodes claiming the same ring position: only the supervisor
+            # can resolve this; ask it to refresh the other node.
+            self.send_supervisor(msg.GET_CONFIGURATION, node=cand_ref)
+            return
+        if cyc:
+            self._integrate_cycle(cand_label, cand_ref)
+            return
+        if cand_r < own:
+            self._integrate_side("left", cand_label, cand_ref)
+        else:
+            self._integrate_side("right", cand_label, cand_ref)
+
+    def _integrate_side(self, side: str, cand_label: Label, cand_ref: NodeRef) -> None:
+        current: Optional[Neighbor] = getattr(self, side)
+        assert self.label is not None
+        if current is None:
+            setattr(self, side, Neighbor(cand_label, cand_ref))
+            return
+        if current.ref == cand_ref:
+            if current.label != cand_label:
+                setattr(self, side, Neighbor(cand_label, cand_ref))
+            return
+        own = r_value(self.label)
+        cand_closer = abs(r_value(cand_label) - own) < abs(r_value(current.label) - own)
+        if cand_closer:
+            setattr(self, side, Neighbor(cand_label, cand_ref))
+            # Delegate the displaced neighbour to the new, closer one.
+            self.send(cand_ref, msg.LINEARIZE, node=current.ref, label=current.label)
+        else:
+            # Delegate the candidate towards its position.
+            self.send(current.ref, msg.LINEARIZE, node=cand_ref, label=cand_label)
+
+    def _integrate_cycle(self, cand_label: Label, cand_ref: NodeRef) -> None:
+        """Handle an introduction flagged CYC: the sender believes we are an
+        endpoint of the sorted list and it is our wrap-around partner."""
+        assert self.label is not None
+        own = r_value(self.label)
+        cand_r = r_value(cand_label)
+        if cand_r > own:
+            # The candidate is larger, so we would be the minimum.
+            if self.left is None:
+                self._keep_farthest_ring(cand_label, cand_ref, prefer_larger=True)
+            else:
+                self._integrate(cand_label, cand_ref)
+        else:
+            if self.right is None:
+                self._keep_farthest_ring(cand_label, cand_ref, prefer_larger=False)
+            else:
+                self._integrate(cand_label, cand_ref)
+
+    def _keep_farthest_ring(self, cand_label: Label, cand_ref: NodeRef,
+                            prefer_larger: bool) -> None:
+        """Keep the wrap-around candidate farthest from us (Algorithm 2,
+        line 31) and push the loser into the sorted list."""
+        if self.ring is None or self.ring.ref == cand_ref:
+            self.ring = Neighbor(cand_label, cand_ref)
+            return
+        current_r = r_value(self.ring.label)
+        cand_r = r_value(cand_label)
+        keep_candidate = cand_r > current_r if prefer_larger else cand_r < current_r
+        if keep_candidate:
+            loser = self.ring
+            self.ring = Neighbor(cand_label, cand_ref)
+            self._integrate(loser.label, loser.ref)
+        else:
+            self._integrate(cand_label, cand_ref)
+
+    # ------------------------------------------------------------ ring msgs
+    def handle_introduce(self, node: NodeRef, label: Label, believed: Optional[Label],
+                         flag: str) -> None:
+        if self.label is None:
+            self.send(node, msg.REMOVE_CONNECTIONS, node=self.node_id)
+            return
+        if believed != self.label:
+            self.send(node, msg.CORRECT_LABEL, node=self.node_id, label=self.label)
+        if not is_valid_label(label):
+            return
+        self._integrate(label, node, cyc=(flag == msg.FLAG_CYC))
+
+    def handle_linearize(self, node: NodeRef, label: Label) -> None:
+        if not is_valid_label(label):
+            return
+        self._integrate(label, node)
+
+    def handle_correct_label(self, node: NodeRef, label: Label) -> None:
+        """A neighbour told us its actual label differs from what we stored."""
+        if not is_valid_label(label):
+            return
+        was_ring = self.ring is not None and self.ring.ref == node
+        removed = False
+        for side in ("left", "right", "ring"):
+            nb: Optional[Neighbor] = getattr(self, side)
+            if nb is not None and nb.ref == node and nb.label != label:
+                setattr(self, side, None)
+                removed = True
+        for stored_label in [l for l, ref in self.shortcuts.items()
+                             if ref == node and l != label]:
+            self.shortcuts[stored_label] = None
+            removed = True
+        if removed:
+            self._integrate(label, node, cyc=was_ring)
+
+    def handle_remove_connections(self, node: NodeRef) -> None:
+        for side in ("left", "right", "ring"):
+            nb: Optional[Neighbor] = getattr(self, side)
+            if nb is not None and nb.ref == node:
+                setattr(self, side, None)
+        for stored_label in [l for l, ref in self.shortcuts.items() if ref == node]:
+            self.shortcuts[stored_label] = None
+
+    def handle_introduce_shortcut(self, node: NodeRef, label: Label) -> None:
+        """Store an introduced shortcut if we expect one with that label,
+        otherwise delegate the reference into the ring (Algorithm 4)."""
+        if self.label is None:
+            self.send(node, msg.REMOVE_CONNECTIONS, node=self.node_id)
+            return
+        if node == self.node_id or not is_valid_label(label):
+            return
+        if label in self.shortcuts:
+            old = self.shortcuts[label]
+            if old == node:
+                return
+            self.shortcuts[label] = node
+            if old is not None:
+                self._integrate(label, old)
+        else:
+            self._integrate(label, node)
+
+    def handle_set_data(self, pred: Optional[Sequence], label: Optional[Label],
+                        succ: Optional[Sequence]) -> None:
+        """Adopt a configuration from the supervisor (Algorithm 4, SetData)."""
+        if label is None:
+            self._clear_membership()
+            return
+        if not self.subscribed:
+            # We never asked for this topic (corrupted supervisor database or a
+            # stale message): ask the supervisor to take us out again.
+            self.send_supervisor(msg.UNSUBSCRIBE, node=self.node_id)
+            return
+        pred_nb = _as_neighbor(pred)
+        succ_nb = _as_neighbor(succ)
+        changed = self.label != label
+        # Action (iii): if a currently stored list neighbour is at least as
+        # close as the proposed one, it might be unknown to the supervisor —
+        # ask the supervisor to send it its configuration.
+        for current, proposed in ((self.left, pred_nb), (self.right, succ_nb)):
+            if current is None or proposed is None:
+                continue
+            if current.ref in (proposed.ref, self.node_id):
+                continue
+            if linear_distance(current.label, label) <= linear_distance(proposed.label, label):
+                self.send_supervisor(msg.GET_CONFIGURATION, node=current.ref)
+        self.label = label
+        displaced: List[Neighbor] = []
+        displaced.extend(self._adopt_config_side(pred_nb, is_pred=True))
+        displaced.extend(self._adopt_config_side(succ_nb, is_pred=False))
+        if pred_nb is None and succ_nb is None:
+            # Single-subscriber system: no neighbours at all.
+            for nb in (self.left, self.right, self.ring):
+                if nb is not None and nb.ref != self.node_id:
+                    displaced.append(nb)
+            self.left = self.right = self.ring = None
+        new_state = (self.label,
+                     self.left.ref if self.left else None,
+                     self.right.ref if self.right else None,
+                     self.ring.ref if self.ring else None)
+        if changed or getattr(self, "_last_config_state", None) != new_state:
+            self.config_change_count += 1
+        self._last_config_state = new_state
+        # Displaced references are dropped rather than re-delegated: the
+        # supervisor's configuration is authoritative, and a displaced node
+        # that is still alive re-announces itself (or contacts the supervisor)
+        # on its own Timeout.  Re-delegating here would keep references to
+        # crashed subscribers circulating forever (Section 3.3).
+        del displaced
+
+    def _adopt_config_side(self, proposed: Optional[Neighbor], is_pred: bool) -> List[Neighbor]:
+        """Install the supervisor-provided predecessor/successor, returning the
+        displaced neighbours that must be re-linearized."""
+        assert self.label is not None
+        displaced: List[Neighbor] = []
+        if proposed is None or proposed.ref == self.node_id:
+            return displaced
+        own = r_value(self.label)
+        proposed_r = r_value(proposed.label)
+        wrap = proposed_r > own if is_pred else proposed_r < own
+        if wrap:
+            if self.ring is not None and self.ring.ref != proposed.ref:
+                displaced.append(self.ring)
+            self.ring = proposed
+            side = "left" if is_pred else "right"
+            current: Optional[Neighbor] = getattr(self, side)
+            if current is not None:
+                if current.ref != proposed.ref:
+                    displaced.append(current)
+                setattr(self, side, None)
+        else:
+            side = "left" if is_pred else "right"
+            current = getattr(self, side)
+            if current is not None and current.ref != proposed.ref:
+                displaced.append(current)
+            setattr(self, side, proposed)
+        return displaced
+
+    def _clear_membership(self) -> None:
+        """Handle ``SetData(⊥, ⊥, ⊥)``: drop the label and all connections
+        (Lemma 6: the node eventually disconnects from the skip ring)."""
+        changed = self.label is not None
+        self.label = None
+        for nb in (self.left, self.right, self.ring):
+            if nb is not None:
+                self.send(nb.ref, msg.REMOVE_CONNECTIONS, node=self.node_id)
+        for ref in set(self.shortcuts.values()):
+            if ref is not None:
+                self.send(ref, msg.REMOVE_CONNECTIONS, node=self.node_id)
+        self.left = self.right = self.ring = None
+        self.shortcuts = {}
+        if changed:
+            self.config_change_count += 1
+        if self.pending_unsubscribe:
+            self.pending_unsubscribe = False
+            self.subscribed = False
+
+    # ============================================================ publications
+    def publish(self, payload: bytes | str) -> Publication:
+        """Create a new publication, store it locally and flood it."""
+        publication = Publication.create(self.node_id, payload,
+                                         key_bits=self.params.publication_key_bits)
+        self.trie.insert(publication)
+        self.owner.sim.tracer.record(self.owner.now, "publish", node=self.node_id,
+                                     topic=self.topic, key=publication.key)
+        if self.params.enable_flooding:
+            self._flood(publication, hops=1, exclude=None)
+        return publication
+
+    def _flood(self, publication: Publication, hops: int, exclude: Optional[NodeRef]) -> None:
+        targets = flood_fanout(
+            self.left.ref if self.left else None,
+            self.right.ref if self.right else None,
+            self.ring.ref if self.ring else None,
+            self.shortcuts.values(),
+            exclude=exclude,
+        )
+        for ref in targets:
+            self.send(ref, msg.PUBLISH_NEW, pub=publication.to_wire(), hops=hops,
+                      sender=self.node_id)
+
+    def _anti_entropy_round(self) -> None:
+        """Send our trie root to a random direct ring neighbour (Algorithm 5)."""
+        if self.rng.random() >= self.params.anti_entropy_probability:
+            return
+        request = initial_check_trie(self.trie)
+        if request is None:
+            return
+        neighbors = [nb.ref for nb in (self.left, self.right, self.ring)
+                     if nb is not None and nb.ref != self.node_id]
+        if not neighbors:
+            return
+        target = self.rng.choice(sorted(set(neighbors)))
+        self.send(target, msg.CHECK_TRIE, sender=self.node_id, tuples=request.to_wire())
+
+    def handle_check_trie(self, sender: NodeRef, tuples: List[Tuple[str, str]]) -> None:
+        reply, caps = handle_check_trie(self.trie, _as_summaries(tuples))
+        if reply is not None:
+            self.send(sender, msg.CHECK_TRIE, sender=self.node_id, tuples=reply.to_wire())
+        for cap in caps:
+            self.send(sender, msg.CHECK_AND_PUBLISH, sender=self.node_id,
+                      tuples=[list(t) for t in cap.tuples], prefix=cap.prefix)
+
+    def handle_check_and_publish(self, sender: NodeRef, tuples: List[Tuple[str, str]],
+                                 prefix: str) -> None:
+        reply, caps, pubs = handle_check_and_publish(self.trie, _as_summaries(tuples), prefix)
+        if reply is not None:
+            self.send(sender, msg.CHECK_TRIE, sender=self.node_id, tuples=reply.to_wire())
+        for cap in caps:
+            self.send(sender, msg.CHECK_AND_PUBLISH, sender=self.node_id,
+                      tuples=[list(t) for t in cap.tuples], prefix=cap.prefix)
+        if pubs.publications:
+            self.send(sender, msg.PUBLISH, pubs=pubs.to_wire())
+
+    def handle_publish(self, pubs: List[dict]) -> None:
+        for wire in pubs:
+            try:
+                publication = Publication.from_wire(wire)
+            except (KeyError, ValueError, TypeError):
+                continue
+            if publication.key not in self.trie:
+                self.trie.insert(publication)
+                self.owner.sim.tracer.record(self.owner.now, "publication_received",
+                                             node=self.node_id, topic=self.topic,
+                                             key=publication.key, via="antientropy")
+
+    def handle_publish_new(self, pub: dict, hops: int, sender: Optional[NodeRef]) -> None:
+        try:
+            publication = Publication.from_wire(pub)
+        except (KeyError, ValueError, TypeError):
+            return
+        if publication.key in self.trie:
+            return
+        self.trie.insert(publication)
+        self.owner.sim.tracer.record(self.owner.now, "flood_delivery", node=self.node_id,
+                                     topic=self.topic, key=publication.key, hops=hops)
+        self._flood(publication, hops=hops + 1, exclude=sender)
+
+
+def _as_neighbor(value: Optional[Sequence]) -> Optional[Neighbor]:
+    """Decode a (label, ref) pair from message parameters, rejecting garbage."""
+    if value is None:
+        return None
+    try:
+        label, ref = value[0], value[1]
+    except (TypeError, IndexError):
+        return None
+    if not is_valid_label(label) or not isinstance(ref, int):
+        return None
+    return Neighbor(label, ref)
+
+
+def _as_summaries(tuples) -> List[Tuple[str, str]]:
+    out: List[Tuple[str, str]] = []
+    if not isinstance(tuples, (list, tuple)):
+        return out
+    for item in tuples:
+        try:
+            label, digest = item[0], item[1]
+        except (TypeError, IndexError):
+            continue
+        if isinstance(label, str) and isinstance(digest, str):
+            out.append((label, digest))
+    return out
+
+
+class Subscriber(ProtocolNode):
+    """A peer that can subscribe to topics, publish and maintain the overlay."""
+
+    def __init__(self, node_id: NodeRef, supervisor_id: NodeRef,
+                 params: Optional[ProtocolParams] = None) -> None:
+        super().__init__(node_id)
+        self.supervisor_id = supervisor_id
+        self.params = params or ProtocolParams()
+        self.views: Dict[str, TopicView] = {}
+        self.rng: random.Random = random.Random(node_id)
+        #: total configuration requests this subscriber sent (Theorem 5 / E2)
+        self.configuration_requests = 0
+
+    def attach(self, sim) -> None:  # type: ignore[override]
+        super().attach(sim)
+        self.rng = sim.node_rng(self.node_id)
+
+    # ------------------------------------------------------------------ views
+    def view(self, topic: Optional[str] = None, create: bool = True,
+             subscribed: bool = False) -> Optional[TopicView]:
+        topic = topic or self.params.default_topic
+        if topic not in self.views:
+            if not create:
+                return None
+            self.views[topic] = TopicView(self, topic, subscribed=subscribed)
+        return self.views[topic]
+
+    def topics(self) -> List[str]:
+        return sorted(self.views)
+
+    # ------------------------------------------------------------- public API
+    def subscribe(self, topic: Optional[str] = None) -> None:
+        """Start participating in ``topic``; the protocol contacts the
+        supervisor on the next Timeout (or immediately, see below)."""
+        view = self.view(topic, subscribed=True)
+        assert view is not None
+        view.subscribed = True
+        view.pending_unsubscribe = False
+        if view.label is None:
+            view.send_supervisor(msg.SUBSCRIBE, node=self.node_id)
+
+    def unsubscribe(self, topic: Optional[str] = None) -> None:
+        """Leave ``topic``: request permission from the supervisor and keep the
+        protocol running until permission (``SetData(⊥,⊥,⊥)``) arrives."""
+        view = self.view(topic, create=False)
+        if view is None:
+            return
+        view.pending_unsubscribe = True
+        view.send_supervisor(msg.UNSUBSCRIBE, node=self.node_id)
+
+    def publish(self, payload: bytes | str, topic: Optional[str] = None) -> Publication:
+        view = self.view(topic, subscribed=True)
+        assert view is not None
+        return view.publish(payload)
+
+    def publications(self, topic: Optional[str] = None) -> List[Publication]:
+        view = self.view(topic, create=False)
+        return view.trie.all_publications() if view is not None else []
+
+    def has_publication(self, key: str, topic: Optional[str] = None) -> bool:
+        view = self.view(topic, create=False)
+        return view is not None and key in view.trie
+
+    def label(self, topic: Optional[str] = None) -> Optional[Label]:
+        view = self.view(topic, create=False)
+        return view.label if view is not None else None
+
+    # --------------------------------------------------------------- timeout
+    def on_timeout(self) -> None:
+        for view in list(self.views.values()):
+            view.timeout()
+
+    # ------------------------------------------------------- message handlers
+    def _topic_view(self, topic: Optional[str]) -> TopicView:
+        view = self.view(topic, create=True, subscribed=False)
+        assert view is not None
+        return view
+
+    def on_SetData(self, pred=None, label=None, succ=None, topic: Optional[str] = None) -> None:
+        self._topic_view(topic).handle_set_data(pred, label, succ)
+
+    def on_Introduce(self, node: NodeRef, label: Label, believed=None,
+                     flag: str = msg.FLAG_LIN, topic: Optional[str] = None) -> None:
+        self._topic_view(topic).handle_introduce(node, label, believed, flag)
+
+    def on_Linearize(self, node: NodeRef, label: Label, topic: Optional[str] = None) -> None:
+        self._topic_view(topic).handle_linearize(node, label)
+
+    def on_CorrectLabel(self, node: NodeRef, label: Label, topic: Optional[str] = None) -> None:
+        self._topic_view(topic).handle_correct_label(node, label)
+
+    def on_RemoveConnections(self, node: NodeRef, topic: Optional[str] = None) -> None:
+        self._topic_view(topic).handle_remove_connections(node)
+
+    def on_IntroduceShortcut(self, node: NodeRef, label: Label,
+                             topic: Optional[str] = None) -> None:
+        self._topic_view(topic).handle_introduce_shortcut(node, label)
+
+    def on_CheckTrie(self, sender: NodeRef, tuples=None, topic: Optional[str] = None) -> None:
+        self._topic_view(topic).handle_check_trie(sender, tuples or [])
+
+    def on_CheckAndPublish(self, sender: NodeRef, tuples=None, prefix: str = "",
+                           topic: Optional[str] = None) -> None:
+        self._topic_view(topic).handle_check_and_publish(sender, tuples or [], prefix)
+
+    def on_Publish(self, pubs=None, topic: Optional[str] = None) -> None:
+        self._topic_view(topic).handle_publish(pubs or [])
+
+    def on_PublishNew(self, pub=None, hops: int = 1, sender: Optional[NodeRef] = None,
+                      topic: Optional[str] = None) -> None:
+        if pub is None:
+            return
+        self._topic_view(topic).handle_publish_new(pub, hops, sender)

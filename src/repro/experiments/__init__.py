@@ -1,0 +1,14 @@
+"""Experiment harness reproducing every quantitative claim of the paper.
+
+Each experiment function in :mod:`repro.experiments.experiments` returns an
+:class:`~repro.experiments.runner.ExperimentResult` whose rows are printed by
+the corresponding benchmark in ``benchmarks/`` and recorded in
+``EXPERIMENTS.md``.  See DESIGN.md for the claim ↔ experiment ↔ module map.
+"""
+
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.report import format_table, render_result
+from repro.experiments import experiments
+
+__all__ = ["ExperimentResult", "run_experiment", "format_table", "render_result",
+           "experiments"]

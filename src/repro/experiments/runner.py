@@ -1,0 +1,52 @@
+"""Experiment result records and a tiny runner."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """A table of results produced by one experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier such as ``"E1"`` (see DESIGN.md).
+    title:
+        One-line description of what the experiment reproduces.
+    headers / rows:
+        The table content (rows are sequences matching ``headers``).
+    claims:
+        Paper claim → pass/fail map, filled by the experiment's own
+        verification of the claim (e.g. "average degree <= 4": True).
+    metadata:
+        Free-form extra data (parameters, seeds, wall time).
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[Sequence] = field(default_factory=list)
+    claims: Dict[str, bool] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, *values) -> None:
+        self.rows.append(tuple(values))
+
+    def claim(self, description: str, holds: bool) -> None:
+        self.claims[description] = bool(holds)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(self.claims.values()) if self.claims else True
+
+
+def run_experiment(fn: Callable[..., ExperimentResult], *args, **kwargs) -> ExperimentResult:
+    """Run an experiment function and stamp wall-clock duration metadata."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    result.metadata.setdefault("wall_seconds", round(time.perf_counter() - start, 3))
+    return result

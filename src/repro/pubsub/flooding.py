@@ -1,0 +1,74 @@
+"""Flooding of new publications over ring and shortcut edges (Section 4.3).
+
+Flooding is an *optimisation*: correctness (eventual delivery) rests entirely
+on the self-stabilizing anti-entropy protocol, but flooding delivers a fresh
+publication to every subscriber within the skip ring's diameter, i.e. in
+``O(log n)`` hops, instead of the ``Θ(n)`` hops a plain ring would need.
+
+This module contains the neighbour fan-out helper used by the subscriber
+protocol plus analytical helpers used by experiment E7 (expected hop counts on
+the ideal topology).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+import networkx as nx
+
+from repro.core.skip_ring import SkipRingTopology
+
+
+def flood_fanout(left_ref: Optional[int], right_ref: Optional[int],
+                 ring_ref: Optional[int], shortcut_refs: Iterable[Optional[int]],
+                 exclude: Optional[int] = None) -> List[int]:
+    """The distinct neighbour references a PublishNew message is forwarded to.
+
+    ``exclude`` (typically the node the message arrived from) is skipped; the
+    paper's protocol does not require this but it halves redundant traffic and
+    does not affect delivery (the receiving node drops duplicates anyway).
+    """
+    targets: Set[int] = set()
+    for ref in (left_ref, right_ref, ring_ref, *shortcut_refs):
+        if ref is None:
+            continue
+        if exclude is not None and ref == exclude:
+            continue
+        targets.add(ref)
+    return sorted(targets)
+
+
+def ideal_flood_hops(n: int, source: int = 0) -> Dict[int, int]:
+    """Hop distance of every node from ``source`` in the ideal ``SR(n)``.
+
+    Flooding delivers a publication along shortest paths (each node forwards
+    on first receipt), so the delivery hop count of node ``v`` equals its
+    graph distance from the publisher.
+    """
+    topo = SkipRingTopology(n)
+    graph = topo.to_networkx()
+    return dict(nx.single_source_shortest_path_length(graph, source))
+
+
+def ideal_flood_depth(n: int, source: int = 0) -> int:
+    """Number of hops until the *last* subscriber receives the publication."""
+    hops = ideal_flood_hops(n, source)
+    return max(hops.values()) if hops else 0
+
+
+def plain_ring_flood_depth(n: int, source: int = 0) -> int:
+    """Delivery depth on a plain ring without shortcuts: ``⌈(n-1)/2⌉`` when
+    flooding in both directions (the baseline the paper's related work,
+    which delivers in ``O(n)`` steps, corresponds to)."""
+    if n <= 1:
+        return 0
+    return (n - 1 + 1) // 2
+
+
+def flood_message_count(n: int) -> int:
+    """Total number of PublishNew messages a single flood generates on the
+    ideal topology when every node forwards to all of its neighbours on first
+    receipt: at most ``2·|E|`` (each undirected edge is crossed at most twice,
+    once in each direction)."""
+    topo = SkipRingTopology(n)
+    return 2 * topo.num_edges()

@@ -1,0 +1,257 @@
+"""Patricia trie with Merkle-style node hashes (paper Section 4.2).
+
+Every subscriber stores the publications it knows for a topic in a compressed
+binary trie:
+
+* Leaves correspond to publications; a leaf's label is the publication's
+  ``m``-bit key ``h̄_m(publisher, payload)`` and its hash is ``h(label)``.
+* Inner nodes have exactly two children; their label is the longest common
+  prefix of the children's labels and their hash is
+  ``h(h(child_0) ∘ h(child_1))``.
+
+Because hashes are recomputed bottom-up on insertion, two tries hold the same
+publication set if and only if their root hashes are equal (up to hash
+collisions), which is exactly the property the CheckTrie reconciliation
+protocol relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.pubsub.hashing import leaf_hash, node_hash
+from repro.pubsub.publications import Publication
+
+Summary = Tuple[str, str]  # (node label, node hash)
+
+
+class TrieNode:
+    """A node of the Patricia trie.
+
+    ``label`` is the full prefix from the root (not the edge label), matching
+    the paper's convention where ``CheckTrie`` messages carry full labels.
+    """
+
+    __slots__ = ("label", "children", "publication", "hash")
+
+    def __init__(self, label: str, publication: Optional[Publication] = None) -> None:
+        self.label = label
+        self.children: Dict[str, "TrieNode"] = {}
+        self.publication = publication
+        self.hash = ""
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def child_summaries(self) -> List[Summary]:
+        """Summaries of the two children in trie order ('0' child first)."""
+        return [(self.children[b].label, self.children[b].hash)
+                for b in sorted(self.children)]
+
+    def recompute_hash(self) -> None:
+        if self.is_leaf:
+            self.hash = leaf_hash(self.label)
+        else:
+            left, right = (self.children[b] for b in sorted(self.children))
+            self.hash = node_hash(left.hash, right.hash)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else "inner"
+        return f"TrieNode({kind}, label={self.label!r})"
+
+
+class PatriciaTrie:
+    """Set of publications addressable by their binary keys."""
+
+    def __init__(self, key_bits: int = 64) -> None:
+        if key_bits < 1:
+            raise ValueError("key_bits must be positive")
+        self.key_bits = key_bits
+        self.root: Optional[TrieNode] = None
+        self._by_key: Dict[str, Publication] = {}
+
+    # ---------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Publication):
+            return item.key in self._by_key
+        if isinstance(item, str):
+            return item in self._by_key
+        return False
+
+    def keys(self) -> List[str]:
+        return sorted(self._by_key)
+
+    def get(self, key: str) -> Optional[Publication]:
+        return self._by_key.get(key)
+
+    def all_publications(self) -> List[Publication]:
+        return [self._by_key[k] for k in sorted(self._by_key)]
+
+    def root_summary(self) -> Optional[Summary]:
+        """``(label, hash)`` of the root, or ``None`` for an empty trie."""
+        if self.root is None:
+            return None
+        return (self.root.label, self.root.hash)
+
+    def same_content_as(self, other: "PatriciaTrie") -> bool:
+        """True iff both tries store the same publication key set.
+
+        In a correct implementation this coincides with root-hash equality
+        (tested property), but the ground truth here is the key set.
+        """
+        return set(self._by_key) == set(other._by_key)
+
+    # ------------------------------------------------------------ navigation
+    def search_node(self, label: str) -> Optional[TrieNode]:
+        """The trie node whose label equals ``label`` exactly, or ``None``."""
+        node = self.root
+        while node is not None:
+            if node.label == label:
+                return node
+            if len(node.label) >= len(label):
+                # node.label is at least as long but different: `label` would
+                # have to sit above or beside it; no exact node exists.
+                return None
+            if not label.startswith(node.label):
+                return None
+            branch = label[len(node.label)]
+            node = node.children.get(branch)
+        return None
+
+    def find_min_extension(self, prefix: str) -> Optional[TrieNode]:
+        """The node ``c`` with minimal ``|c.label|`` such that ``prefix`` is a
+        prefix of ``c.label`` (paper case (iii) of CheckTrie)."""
+        node = self.root
+        while node is not None:
+            if node.label.startswith(prefix):
+                return node
+            if not prefix.startswith(node.label):
+                return None
+            branch = prefix[len(node.label)]
+            node = node.children.get(branch)
+        return None
+
+    def publications_with_prefix(self, prefix: str) -> List[Publication]:
+        """All stored publications whose key starts with ``prefix``."""
+        start = self.find_min_extension(prefix)
+        if start is None:
+            return []
+        out: List[Publication] = []
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                if node.publication is not None:
+                    out.append(node.publication)
+            else:
+                stack.extend(node.children[b] for b in sorted(node.children, reverse=True))
+        out.sort(key=lambda p: p.key)
+        return out
+
+    def iter_nodes(self) -> Iterator[TrieNode]:
+        if self.root is None:
+            return
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    # ---------------------------------------------------------------- updates
+    def insert(self, publication: Publication) -> bool:
+        """Insert ``publication``; returns True if the trie changed.
+
+        Keys must have exactly ``key_bits`` bits.  Publications are never
+        removed (the paper's protocol never deletes publications), so the trie
+        only grows.
+        """
+        key = publication.key
+        if len(key) != self.key_bits or any(c not in "01" for c in key):
+            raise ValueError(
+                f"publication key {key!r} is not a {self.key_bits}-bit binary string")
+        if key in self._by_key:
+            return False
+        self._by_key[key] = publication
+
+        new_leaf = TrieNode(key, publication)
+        new_leaf.recompute_hash()
+
+        if self.root is None:
+            self.root = new_leaf
+            return True
+
+        # Walk down, remembering the path for the bottom-up hash update.
+        path: List[TrieNode] = []
+        node = self.root
+        while True:
+            common = _common_prefix_len(key, node.label)
+            if common == len(node.label) and len(node.label) < len(key) and not node.is_leaf:
+                # node.label is a proper prefix of key: descend.
+                path.append(node)
+                node = node.children[key[common]]
+                continue
+            # Split `node`: create an inner node holding the diverging children.
+            inner = TrieNode(key[:common])
+            inner.children[node.label[common]] = node
+            inner.children[key[common]] = new_leaf
+            inner.recompute_hash()
+            if path:
+                parent = path[-1]
+                parent.children[inner.label[len(parent.label)]] = inner
+            else:
+                self.root = inner
+            break
+
+        for ancestor in reversed(path):
+            ancestor.recompute_hash()
+        return True
+
+    def insert_all(self, publications: List[Publication]) -> int:
+        """Insert many publications; returns how many were new."""
+        return sum(1 for p in publications if self.insert(p))
+
+    def merge_from(self, other: "PatriciaTrie") -> int:
+        """Insert every publication of ``other`` (test/debug helper)."""
+        return self.insert_all(other.all_publications())
+
+    # ------------------------------------------------------------ validation
+    def check_invariants(self) -> None:
+        """Raise AssertionError if structural invariants are violated.
+
+        Used by property-based tests: every inner node has exactly two
+        children whose labels extend the parent's label and diverge on the
+        next bit; every leaf label has ``key_bits`` bits; hashes are
+        consistent with the Merkle rule.
+        """
+        for node in self.iter_nodes():
+            if node.is_leaf:
+                assert len(node.label) == self.key_bits, "leaf label has wrong length"
+                assert node.publication is not None, "leaf without publication"
+                assert node.hash == leaf_hash(node.label), "stale leaf hash"
+            else:
+                assert len(node.children) == 2, "inner node without two children"
+                bits = sorted(node.children)
+                assert bits == ["0", "1"], "inner node children keys must be 0/1"
+                for bit, child in node.children.items():
+                    assert child.label.startswith(node.label), "child label must extend parent"
+                    assert child.label[len(node.label)] == bit, "child stored under wrong bit"
+                left, right = (node.children[b] for b in bits)
+                assert node.hash == node_hash(left.hash, right.hash), "stale inner hash"
+                assert node.label == _common_prefix(left.label, right.label), (
+                    "inner label must be the LCP of its children")
+
+
+def _common_prefix_len(a: str, b: str) -> int:
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n
+
+
+def _common_prefix(a: str, b: str) -> str:
+    return a[: _common_prefix_len(a, b)]

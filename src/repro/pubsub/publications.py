@@ -1,0 +1,51 @@
+"""The publication record exchanged between subscribers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.pubsub.hashing import publication_key
+
+
+@dataclass(frozen=True)
+class Publication:
+    """A single published item.
+
+    Attributes
+    ----------
+    publisher:
+        Node id of the subscriber that issued the publication.
+    payload:
+        The published content (bytes).
+    key:
+        The ``m``-bit trie key ``h̄_m(publisher, payload)`` as a '0'/'1'
+        string.  It is derived deterministically, so any subscriber that
+        receives ``(publisher, payload)`` reconstructs the same key.
+    """
+
+    publisher: int
+    payload: bytes
+    key: str
+
+    @classmethod
+    def create(cls, publisher: int, payload: bytes | str, key_bits: int = 16) -> "Publication":
+        if isinstance(payload, str):
+            payload = payload.encode("utf-8")
+        return cls(publisher=publisher, payload=bytes(payload),
+                   key=publication_key(publisher, payload, bits=key_bits))
+
+    # ---------------------------------------------------------------- wire fmt
+    def to_wire(self) -> Dict[str, Any]:
+        """Plain-data representation for message parameters."""
+        return {"publisher": self.publisher, "payload": self.payload.hex(),
+                "key_bits": len(self.key)}
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "Publication":
+        payload = bytes.fromhex(data["payload"])
+        return cls.create(int(data["publisher"]), payload, key_bits=int(data["key_bits"]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        text = self.payload[:24]
+        return f"Publication(publisher={self.publisher}, key={self.key}, payload={text!r})"

@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate for asynchronous message-passing protocols.
+
+The paper's computational model (Section 1.1) assumes:
+
+* peers communicate by placing messages into unbounded channels,
+* messages are never lost or duplicated but may be delivered out of order
+  (non-FIFO) with unbounded but finite delay (*fair message receipt*),
+* every node has a ``Timeout`` action that is executed infinitely often
+  (*weakly fair action execution*), and
+* the initial state is arbitrary (corrupted variables and channels).
+
+:mod:`repro.sim` provides a seeded, deterministic discrete-event simulator that
+realises exactly this model: :class:`~repro.sim.engine.Simulator` drives
+periodic timeouts and delivers messages with randomised delays drawn from a
+seeded RNG, :class:`~repro.sim.network.Network` tracks channels and message
+accounting, :class:`~repro.sim.node.ProtocolNode` is the base class for
+protocol participants, and :mod:`repro.sim.failure` adds crash injection plus
+the supervisor-side oracle failure detector used in Section 3.3 of the paper.
+"""
+
+from repro.sim.engine import Simulator, SimulatorConfig
+from repro.sim.network import Message, Network, ChannelStats
+from repro.sim.node import ProtocolNode, NodeRef
+from repro.sim.failure import FailureDetector, CrashSchedule
+from repro.sim.tracing import Tracer, TraceEvent
+from repro.sim.rng import derive_rng, spawn_seeds
+
+__all__ = [
+    "Simulator",
+    "SimulatorConfig",
+    "Message",
+    "Network",
+    "ChannelStats",
+    "ProtocolNode",
+    "NodeRef",
+    "FailureDetector",
+    "CrashSchedule",
+    "Tracer",
+    "TraceEvent",
+    "derive_rng",
+    "spawn_seeds",
+]

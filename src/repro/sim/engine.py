@@ -1,0 +1,247 @@
+"""The discrete-event simulator driving timeouts and message delivery.
+
+The simulator realises the paper's asynchronous execution model:
+
+* **fair message receipt** — every submitted message is assigned a finite
+  random delay and is eventually delivered (unless its destination crashes);
+* **non-FIFO delivery** — delays are drawn independently per message, so later
+  messages can overtake earlier ones;
+* **weakly fair action execution** — every attached node's ``Timeout`` action
+  is scheduled periodically (with jitter) forever, unless the node crashes.
+
+All randomness is derived from a single master seed
+(:class:`SimulatorConfig.seed`), so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.failure import CrashSchedule, FailureDetector
+from repro.sim.network import Message, Network
+from repro.sim.node import NodeRef, ProtocolNode
+from repro.sim.rng import derive_rng
+from repro.sim.tracing import Tracer
+
+
+@dataclass
+class SimulatorConfig:
+    """Tunable parameters of the simulation substrate.
+
+    Attributes
+    ----------
+    seed:
+        Master seed for all randomness (delays, jitter, protocol coins).
+    min_delay / max_delay:
+        Bounds of the uniform message delay distribution.
+    timeout_period:
+        Nominal time between two consecutive ``Timeout`` invocations of a node.
+    timeout_jitter:
+        Relative jitter applied to each timeout period (0.2 = ±20 %), which
+        desynchronises nodes and exercises non-deterministic interleavings.
+    detection_lag:
+        Lag of the supervisor's failure detector (Section 3.3).
+    keep_trace_events:
+        Whether the tracer stores individual events (counters are always kept).
+    """
+
+    seed: int = 0
+    min_delay: float = 0.1
+    max_delay: float = 1.0
+    timeout_period: float = 1.0
+    timeout_jitter: float = 0.2
+    detection_lag: float = 0.0
+    keep_trace_events: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout_period <= 0:
+            raise ValueError("timeout_period must be positive")
+        if not 0 <= self.timeout_jitter < 1:
+            raise ValueError("timeout_jitter must lie in [0, 1)")
+
+
+# Event kinds used in the heap
+_DELIVER = 0
+_TIMEOUT = 1
+_CRASH = 2
+_CALL = 3
+
+
+class Simulator:
+    """Event-driven executor for a set of :class:`ProtocolNode` instances."""
+
+    def __init__(self, config: Optional[SimulatorConfig] = None) -> None:
+        self.config = config or SimulatorConfig()
+        self.now: float = 0.0
+        self.network = Network(self.config.min_delay, self.config.max_delay)
+        self.tracer = Tracer(keep_events=self.config.keep_trace_events)
+        self.failure_detector = FailureDetector(self.config.detection_lag)
+        self.failure_detector.attach(self)
+        self.nodes: Dict[NodeRef, ProtocolNode] = {}
+        self.timeout_counts: Dict[NodeRef, int] = {}
+        self._heap: List[tuple[float, int, int, Any]] = []
+        self._seq = itertools.count()
+        self._delay_rng = derive_rng(self.config.seed, "delay")
+        self._jitter_rng = derive_rng(self.config.seed, "jitter")
+        self._steps = 0
+
+    # ------------------------------------------------------------------ nodes
+    def add_node(self, node: ProtocolNode, schedule_timeout: bool = True) -> ProtocolNode:
+        """Register ``node`` and (optionally) start its periodic Timeout."""
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        node.attach(self)
+        self.nodes[node.node_id] = node
+        self.timeout_counts[node.node_id] = 0
+        if schedule_timeout:
+            # Stagger the first timeout uniformly over one period so nodes do
+            # not fire in lock-step.
+            first = self.now + self._jitter_rng.uniform(0, self.config.timeout_period)
+            self._push(first, _TIMEOUT, node.node_id)
+        return node
+
+    def node_rng(self, node_id: NodeRef, stream: str = "protocol") -> random.Random:
+        """A per-node RNG stream derived from the master seed."""
+        return derive_rng(self.config.seed, "node", node_id, stream)
+
+    def live_nodes(self) -> List[ProtocolNode]:
+        return [n for n in self.nodes.values() if not n.crashed]
+
+    # --------------------------------------------------------------- messages
+    def send_message(self, sender: Optional[NodeRef], dest: NodeRef, action: str,
+                     topic: Optional[str], params: Dict[str, Any]) -> None:
+        """Submit a message to the network and schedule its delivery."""
+        msg = Message(action=action, params=dict(params), sender=sender, dest=dest,
+                      topic=topic)
+        accepted = self.network.submit(msg, self._delay_rng, self.now)
+        if accepted is not None:
+            self._push(accepted.deliver_time, _DELIVER, accepted)
+
+    def inject_message(self, dest: NodeRef, action: str, params: Dict[str, Any],
+                       topic: Optional[str] = None, delay: Optional[float] = None) -> None:
+        """Place an adversarial message into ``dest``'s channel (initial-state
+        corruption).  It will be delivered like any other message."""
+        msg = Message(action=action, params=dict(params), sender=None, dest=dest,
+                      topic=topic, send_time=self.now)
+        self.network.inject_initial(msg)
+        if delay is None:
+            delay = self._delay_rng.uniform(self.config.min_delay, self.config.max_delay)
+        msg.deliver_time = self.now + delay
+        self._push(msg.deliver_time, _DELIVER, msg)
+
+    # ----------------------------------------------------------------- faults
+    def crash_node(self, node_id: NodeRef, at: Optional[float] = None) -> None:
+        """Crash ``node_id`` now or at a future time ``at``."""
+        if at is None or at <= self.now:
+            self._apply_crash(node_id)
+        else:
+            self._push(at, _CRASH, node_id)
+
+    def apply_crash_schedule(self, schedule: CrashSchedule) -> None:
+        for time, node_id in schedule:
+            self.crash_node(node_id, at=time)
+
+    def _apply_crash(self, node_id: NodeRef) -> None:
+        node = self.nodes.get(node_id)
+        if node is None or node.crashed:
+            return
+        node.crash()
+        self.network.mark_crashed(node_id)
+        self.failure_detector.notify_crash(node_id, self.now)
+        self.tracer.record(self.now, "crash", node=node_id)
+
+    # ------------------------------------------------------------------ clock
+    def call_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule an arbitrary callback (used by workloads/experiments)."""
+        self._push(max(time, self.now), _CALL, fn)
+
+    def _push(self, time: float, kind: int, payload: Any) -> None:
+        heapq.heappush(self._heap, (time, next(self._seq), kind, payload))
+
+    # -------------------------------------------------------------- execution
+    def step(self) -> bool:
+        """Process a single event.  Returns False when no event is pending."""
+        if not self._heap:
+            return False
+        time, _, kind, payload = heapq.heappop(self._heap)
+        self.now = max(self.now, time)
+        self._steps += 1
+        if kind == _DELIVER:
+            self._handle_delivery(payload)
+        elif kind == _TIMEOUT:
+            self._handle_timeout(payload)
+        elif kind == _CRASH:
+            self._apply_crash(payload)
+        elif kind == _CALL:
+            payload()
+        return True
+
+    def _handle_delivery(self, msg: Message) -> None:
+        pending = self.network.pop(msg)
+        if pending is None:
+            return
+        node = self.nodes.get(pending.dest)
+        if node is None or node.crashed:
+            return
+        node.dispatch(pending)
+
+    def _handle_timeout(self, node_id: NodeRef) -> None:
+        node = self.nodes.get(node_id)
+        if node is None or node.crashed:
+            return
+        self.timeout_counts[node_id] += 1
+        node.on_timeout()
+        period = self.config.timeout_period
+        jitter = self.config.timeout_jitter
+        next_in = period * (1 + self._jitter_rng.uniform(-jitter, jitter))
+        self._push(self.now + next_in, _TIMEOUT, node_id)
+
+    # ----------------------------------------------------------------- drivers
+    def run_for(self, duration: float, max_steps: Optional[int] = None) -> None:
+        """Run until simulation time advances by ``duration``."""
+        self.run_until_time(self.now + duration, max_steps=max_steps)
+
+    def run_until_time(self, deadline: float, max_steps: Optional[int] = None) -> None:
+        steps = 0
+        while self._heap and self._heap[0][0] <= deadline:
+            if max_steps is not None and steps >= max_steps:
+                break
+            self.step()
+            steps += 1
+        self.now = max(self.now, deadline)
+
+    def run_rounds(self, rounds: int) -> None:
+        """Run for ``rounds`` timeout periods of simulated time."""
+        self.run_for(rounds * self.config.timeout_period)
+
+    def run_until(self, predicate: Callable[[], bool], check_every: float = 1.0,
+                  max_time: float = 10_000.0) -> bool:
+        """Advance time until ``predicate()`` is true or ``max_time`` elapses.
+
+        Returns True if the predicate held at some checkpoint.  The predicate
+        is evaluated every ``check_every`` time units of simulated time.
+        """
+        deadline = self.now + max_time
+        while self.now < deadline:
+            if predicate():
+                return True
+            self.run_until_time(min(self.now + check_every, deadline))
+            if not self._heap and self.now >= deadline:
+                break
+        return predicate()
+
+    def completed_timeout_intervals(self) -> int:
+        """Number of completed *timeout intervals* (every live node fired its
+        Timeout at least that many times) — the unit used in Theorem 5."""
+        live = [nid for nid, n in self.nodes.items() if not n.crashed]
+        if not live:
+            return 0
+        return min(self.timeout_counts[nid] for nid in live)
+
+    @property
+    def steps_executed(self) -> int:
+        return self._steps

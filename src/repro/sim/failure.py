@@ -1,0 +1,87 @@
+"""Crash injection and the supervisor-side oracle failure detector.
+
+Section 3.3 of the paper allows subscribers to crash without warning.  The key
+observation there is that a *single* failure detector at the supervisor
+suffices: once the supervisor notices a crash it removes the subscriber from
+its database, and the periodic database-repair actions restore a legitimate
+skip ring over the surviving subscribers.
+
+We model the failure detector as an oracle with a configurable detection lag:
+queries about a node that crashed at time ``t`` start returning "crashed" only
+at ``t + detection_lag``.  This captures "eventually correct" without
+committing to a particular heartbeat implementation (which the paper also does
+not specify).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+@dataclass
+class CrashSchedule:
+    """A list of (time, node_id) crash instructions applied by the simulator."""
+
+    crashes: List[tuple[float, int]] = field(default_factory=list)
+
+    def add(self, time: float, node_id: int) -> None:
+        if time < 0:
+            raise ValueError("crash time must be non-negative")
+        self.crashes.append((time, node_id))
+
+    def sorted(self) -> List[tuple[float, int]]:
+        return sorted(self.crashes)
+
+    def __len__(self) -> int:
+        return len(self.crashes)
+
+    def __iter__(self):
+        return iter(self.sorted())
+
+
+class FailureDetector:
+    """Eventually-correct crash oracle (only the supervisor consults it).
+
+    Parameters
+    ----------
+    detection_lag:
+        Time between a crash and the moment queries start reporting it.
+        ``0.0`` gives a perfect detector; larger values model slow detection.
+    """
+
+    def __init__(self, detection_lag: float = 0.0) -> None:
+        if detection_lag < 0:
+            raise ValueError("detection_lag must be non-negative")
+        self.detection_lag = detection_lag
+        self._crash_times: Dict[int, float] = {}
+        self._sim: Optional["Simulator"] = None
+
+    def attach(self, sim: "Simulator") -> None:
+        self._sim = sim
+
+    def notify_crash(self, node_id: int, time: float) -> None:
+        """Record that ``node_id`` crashed at ``time`` (called by the simulator)."""
+        self._crash_times.setdefault(node_id, time)
+
+    def suspects(self, node_id: int, now: Optional[float] = None) -> bool:
+        """True once the detector has (eventually-correctly) detected the crash."""
+        crash_time = self._crash_times.get(node_id)
+        if crash_time is None:
+            return False
+        if now is None:
+            if self._sim is None:
+                return True
+            now = self._sim.now
+        return now >= crash_time + self.detection_lag
+
+    def suspected(self, node_ids: Iterable[int], now: Optional[float] = None) -> List[int]:
+        """Subset of ``node_ids`` currently suspected as crashed."""
+        return [nid for nid in node_ids if self.suspects(nid, now)]
+
+    @property
+    def known_crashes(self) -> Dict[int, float]:
+        return dict(self._crash_times)

@@ -1,0 +1,242 @@
+"""Channels and message bookkeeping for the asynchronous network model.
+
+The paper models the network as one unbounded channel ``v.Ch`` per node: a
+multiset of in-flight messages that are never lost or duplicated but may be
+delivered in any order and after any finite delay.  :class:`Network` owns all
+channels, assigns delivery delays, keeps per-action and per-node accounting
+(used by the supervisor-load and congestion experiments), and drops messages
+addressed to crashed nodes (the paper's Section 3.3 failure model: a crashed
+node's address ceases to exist, so messages to it "do not invoke any action").
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class Message:
+    """A single protocol message of the form ``<label>(<parameters>)``.
+
+    Attributes
+    ----------
+    action:
+        The action label, e.g. ``"Introduce"`` or ``"GetConfiguration"``.
+    params:
+        Keyword parameters of the action.  Values must be plain data
+        (ints, strings, tuples, node ids) so that an adversary can also forge
+        them in corrupted initial states.
+    sender:
+        Node id of the sender, or ``None`` for adversarially injected
+        (corrupted) messages present in the initial state.
+    dest:
+        Node id of the destination channel.
+    topic:
+        Optional topic identifier (Section 4: every message carries its topic
+        so the receiver can dispatch it to the right per-topic protocol
+        instance).
+    send_time / deliver_time:
+        Simulation timestamps.
+    corrupted:
+        True for messages injected by the adversary rather than produced by
+        the protocol; used only for accounting and assertions.
+    """
+
+    action: str
+    params: Dict[str, Any]
+    sender: Optional[int]
+    dest: int
+    topic: Optional[str] = None
+    send_time: float = 0.0
+    deliver_time: float = 0.0
+    msg_id: int = -1
+    corrupted: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        src = "?" if self.sender is None else self.sender
+        return (
+            f"Message({self.action}, {src}->{self.dest}, t={self.send_time:.2f}"
+            f"->{self.deliver_time:.2f}, params={self.params})"
+        )
+
+
+@dataclass
+class ChannelStats:
+    """Aggregated message statistics, queryable per node and per action."""
+
+    sent_by_node: Counter = field(default_factory=Counter)
+    received_by_node: Counter = field(default_factory=Counter)
+    sent_by_action: Counter = field(default_factory=Counter)
+    received_by_action: Counter = field(default_factory=Counter)
+    sent_by_node_action: Counter = field(default_factory=Counter)
+    received_by_node_action: Counter = field(default_factory=Counter)
+    dropped_to_crashed: int = 0
+    total_sent: int = 0
+    total_delivered: int = 0
+
+    def record_send(self, msg: Message) -> None:
+        self.total_sent += 1
+        if msg.sender is not None:
+            self.sent_by_node[msg.sender] += 1
+            self.sent_by_node_action[(msg.sender, msg.action)] += 1
+        self.sent_by_action[msg.action] += 1
+
+    def record_delivery(self, msg: Message) -> None:
+        self.total_delivered += 1
+        self.received_by_node[msg.dest] += 1
+        self.received_by_action[msg.action] += 1
+        self.received_by_node_action[(msg.dest, msg.action)] += 1
+
+    def record_drop(self) -> None:
+        self.dropped_to_crashed += 1
+
+    def received_by(self, node_id: int, action: Optional[str] = None) -> int:
+        """Number of messages delivered to ``node_id`` (optionally one action)."""
+        if action is None:
+            return self.received_by_node[node_id]
+        return self.received_by_node_action[(node_id, action)]
+
+    def sent_by(self, node_id: int, action: Optional[str] = None) -> int:
+        """Number of messages sent by ``node_id`` (optionally one action)."""
+        if action is None:
+            return self.sent_by_node[node_id]
+        return self.sent_by_node_action[(node_id, action)]
+
+    def snapshot(self) -> "ChannelStats":
+        """Return a deep copy usable as a baseline for differential counting."""
+        clone = ChannelStats()
+        clone.sent_by_node = Counter(self.sent_by_node)
+        clone.received_by_node = Counter(self.received_by_node)
+        clone.sent_by_action = Counter(self.sent_by_action)
+        clone.received_by_action = Counter(self.received_by_action)
+        clone.sent_by_node_action = Counter(self.sent_by_node_action)
+        clone.received_by_node_action = Counter(self.received_by_node_action)
+        clone.dropped_to_crashed = self.dropped_to_crashed
+        clone.total_sent = self.total_sent
+        clone.total_delivered = self.total_delivered
+        return clone
+
+    def delta(self, baseline: "ChannelStats") -> "ChannelStats":
+        """Return the difference ``self - baseline`` (counter-wise)."""
+        diff = ChannelStats()
+        diff.sent_by_node = self.sent_by_node - baseline.sent_by_node
+        diff.received_by_node = self.received_by_node - baseline.received_by_node
+        diff.sent_by_action = self.sent_by_action - baseline.sent_by_action
+        diff.received_by_action = self.received_by_action - baseline.received_by_action
+        diff.sent_by_node_action = self.sent_by_node_action - baseline.sent_by_node_action
+        diff.received_by_node_action = (
+            self.received_by_node_action - baseline.received_by_node_action
+        )
+        diff.dropped_to_crashed = self.dropped_to_crashed - baseline.dropped_to_crashed
+        diff.total_sent = self.total_sent - baseline.total_sent
+        diff.total_delivered = self.total_delivered - baseline.total_delivered
+        return diff
+
+
+class Network:
+    """Owns every node channel and enforces the asynchronous delivery model.
+
+    The network does not deliver messages by itself: the
+    :class:`~repro.sim.engine.Simulator` schedules a delivery event for each
+    accepted message and later calls :meth:`pop` to remove it from the channel
+    when the destination processes it.
+    """
+
+    def __init__(self, min_delay: float = 0.1, max_delay: float = 1.0) -> None:
+        if min_delay <= 0 or max_delay < min_delay:
+            raise ValueError("delays must satisfy 0 < min_delay <= max_delay")
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+        self._channels: Dict[int, Dict[int, Message]] = defaultdict(dict)
+        self._msg_counter = itertools.count()
+        self.stats = ChannelStats()
+        self._crashed: set[int] = set()
+
+    # ------------------------------------------------------------------ admin
+    def mark_crashed(self, node_id: int) -> None:
+        """Record ``node_id`` as crashed; its channel is discarded and future
+        messages to it are dropped silently."""
+        self._crashed.add(node_id)
+        self._channels.pop(node_id, None)
+
+    def is_crashed(self, node_id: int) -> bool:
+        return node_id in self._crashed
+
+    # ------------------------------------------------------------------ sends
+    def submit(self, msg: Message, rng, now: float) -> Optional[Message]:
+        """Accept ``msg`` into the destination channel.
+
+        Returns the message (with delay and id assigned) if a delivery event
+        should be scheduled, or ``None`` if the destination is crashed and the
+        message was dropped.
+        """
+        msg.msg_id = next(self._msg_counter)
+        msg.send_time = now
+        self.stats.record_send(msg)
+        if msg.dest in self._crashed:
+            self.stats.record_drop()
+            return None
+        delay = rng.uniform(self.min_delay, self.max_delay)
+        msg.deliver_time = now + delay
+        self._channels[msg.dest][msg.msg_id] = msg
+        return msg
+
+    def inject_initial(self, msg: Message) -> Message:
+        """Place a (possibly corrupted) message into a channel without
+        accounting it as protocol traffic.  Used by adversarial initial-state
+        generators; the simulator still schedules its delivery."""
+        msg.msg_id = next(self._msg_counter)
+        msg.corrupted = True
+        if msg.dest in self._crashed:
+            return msg
+        self._channels[msg.dest][msg.msg_id] = msg
+        return msg
+
+    # -------------------------------------------------------------- delivery
+    def pop(self, msg: Message) -> Optional[Message]:
+        """Remove ``msg`` from its channel at delivery time.
+
+        Returns the message if it is still pending (normal case) or ``None``
+        if the destination crashed after the message was sent.
+        """
+        channel = self._channels.get(msg.dest)
+        if channel is None:
+            return None
+        pending = channel.pop(msg.msg_id, None)
+        if pending is None:
+            return None
+        self.stats.record_delivery(pending)
+        return pending
+
+    # ------------------------------------------------------------ inspection
+    def channel_of(self, node_id: int) -> List[Message]:
+        """Return the in-flight messages currently in ``node_id``'s channel."""
+        return list(self._channels.get(node_id, {}).values())
+
+    def in_flight(self) -> int:
+        """Total number of undelivered messages across all channels."""
+        return sum(len(ch) for ch in self._channels.values())
+
+    def iter_in_flight(self) -> Iterator[Message]:
+        for channel in self._channels.values():
+            yield from channel.values()
+
+    def implicit_edges(self) -> List[tuple[int, int]]:
+        """Edges ``(u, v)`` where a message in ``u``'s channel carries a
+        reference to ``v`` (the paper's *implicit* edges).
+
+        Reference-carrying parameters are recognised by convention: any
+        parameter named ``node``, ``ref``, ``pred``, ``succ`` or ending in
+        ``_ref`` whose value is an ``int`` is treated as a node reference.
+        """
+        edges = []
+        for msg in self.iter_in_flight():
+            for key, value in msg.params.items():
+                if not isinstance(value, int):
+                    continue
+                if key in ("node", "ref", "pred", "succ", "sender") or key.endswith("_ref"):
+                    edges.append((msg.dest, value))
+        return edges

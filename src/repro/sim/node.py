@@ -1,0 +1,96 @@
+"""Base class for protocol participants.
+
+A :class:`ProtocolNode` corresponds to a node ``v`` in the paper's model: it
+has a unique read-only identifier ``v.id``, local protocol variables (defined
+by subclasses), and two kinds of actions:
+
+* message-triggered actions — a delivered message ``<label>(<params>)``
+  invokes the method ``on_<label>`` with the message's parameters, and
+* the periodic ``Timeout`` action — :meth:`on_timeout`, scheduled by the
+  simulator infinitely often (weak fairness).
+
+Nodes communicate exclusively through :meth:`send`, which places a message
+into the destination's channel.  Node references are plain integers
+(:data:`NodeRef`): the protocol only compares, stores and forwards them
+(compare-store-send mode, Section 1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.network import Message
+
+#: Node references are opaque integers, unique per simulator instance.
+NodeRef = int
+
+
+class ProtocolNode:
+    """A single protocol participant attached to a :class:`Simulator`."""
+
+    def __init__(self, node_id: NodeRef) -> None:
+        self.node_id: NodeRef = node_id
+        self.crashed: bool = False
+        self._sim: Optional["Simulator"] = None
+
+    # ------------------------------------------------------------------ wiring
+    def attach(self, sim: "Simulator") -> None:
+        """Called by the simulator when the node is registered."""
+        self._sim = sim
+
+    @property
+    def sim(self) -> "Simulator":
+        if self._sim is None:
+            raise RuntimeError(f"node {self.node_id} is not attached to a simulator")
+        return self._sim
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.sim.now
+
+    # ------------------------------------------------------------------- comms
+    def send(self, dest: Optional[NodeRef], action: str, topic: Optional[str] = None,
+             **params: Any) -> None:
+        """Send ``action(**params)`` to node ``dest``.
+
+        Sending to ``None`` (an unset reference) is a silent no-op, mirroring
+        the convention in the paper's pseudocode where calls on ``⊥`` do
+        nothing.  Crashed nodes never send.
+        """
+        if self.crashed or dest is None:
+            return
+        self.sim.send_message(sender=self.node_id, dest=dest, action=action,
+                              topic=topic, params=params)
+
+    # ----------------------------------------------------------------- actions
+    def on_timeout(self) -> None:
+        """Periodic ``Timeout`` action; subclasses override."""
+
+    def dispatch(self, msg: "Message") -> None:
+        """Invoke the handler for a delivered message.
+
+        Unknown actions are ignored: in an arbitrary initial state the channel
+        may contain corrupted messages whose labels no handler understands, and
+        the paper requires such messages to be received (removed from the
+        channel) without breaking the protocol.
+        """
+        if self.crashed:
+            return
+        handler = getattr(self, f"on_{msg.action}", None)
+        if handler is None:
+            return
+        params = dict(msg.params)
+        if msg.topic is not None and "topic" not in params:
+            params["topic"] = msg.topic
+        handler(**params)
+
+    # ------------------------------------------------------------------- misc
+    def crash(self) -> None:
+        """Mark this node as crashed; it stops sending and processing."""
+        self.crashed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(id={self.node_id})"

@@ -1,0 +1,80 @@
+"""Structured tracing and metric collection for simulation runs.
+
+The experiments need more than raw message counts: they track *when* the
+system first reached a legitimate state, how many configuration requests the
+supervisor received per timeout interval, how many hops a flooded publication
+needed, and so on.  :class:`Tracer` is a lightweight event log plus a set of
+named counters/series that protocol code and experiment harnesses can write
+to without coupling to each other.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """A single timestamped trace record."""
+
+    time: float
+    kind: str
+    node: Optional[int] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects trace events, counters and time series during a run."""
+
+    def __init__(self, keep_events: bool = True, max_events: int = 1_000_000) -> None:
+        self.keep_events = keep_events
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.counters: Counter = Counter()
+        self.series: Dict[str, List[tuple[float, float]]] = defaultdict(list)
+        self.marks: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ events
+    def record(self, time: float, kind: str, node: Optional[int] = None, **data: Any) -> None:
+        """Log an event and bump the counter named after its kind."""
+        self.counters[kind] += 1
+        if self.keep_events and len(self.events) < self.max_events:
+            self.events.append(TraceEvent(time=time, kind=kind, node=node, data=data))
+
+    def count(self, kind: str, amount: int = 1) -> None:
+        """Increment the counter ``kind`` without logging an event."""
+        self.counters[kind] += amount
+
+    # ------------------------------------------------------------------ series
+    def sample(self, name: str, time: float, value: float) -> None:
+        """Append ``(time, value)`` to the time series ``name``."""
+        self.series[name].append((time, value))
+
+    def mark_once(self, name: str, time: float) -> bool:
+        """Record the first time ``name`` happened.  Returns True on the first
+        call for ``name`` and False afterwards."""
+        if name in self.marks:
+            return False
+        self.marks[name] = time
+        return True
+
+    # --------------------------------------------------------------- queries
+    def events_of(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def first_mark(self, name: str) -> Optional[float]:
+        return self.marks.get(name)
+
+    def reset_counters(self) -> None:
+        self.counters = Counter()
+
+    def summary(self) -> Dict[str, Any]:
+        """A compact dict summary suitable for experiment result records."""
+        return {
+            "counters": dict(self.counters),
+            "marks": dict(self.marks),
+            "series_lengths": {k: len(v) for k, v in self.series.items()},
+            "num_events": len(self.events),
+        }

@@ -1,0 +1,99 @@
+"""Join / leave / crash schedules (churn workloads).
+
+Used by experiment E3 (subscribe/unsubscribe overhead), E9 (failure recovery)
+and the integration tests that exercise the system under continuous change.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.system import SupervisedPubSub
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """A single scheduled membership change."""
+
+    time: float
+    kind: str  # "join", "leave" or "crash"
+    #: index into the system's subscriber list for leave/crash; ignored for join
+    target_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in {"join", "leave", "crash"}:
+            raise ValueError(f"unknown churn event kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError("event time must be non-negative")
+
+
+@dataclass
+class ChurnSchedule:
+    events: List[ChurnEvent] = field(default_factory=list)
+
+    def add(self, event: ChurnEvent) -> None:
+        self.events.append(event)
+
+    def sorted_events(self) -> List[ChurnEvent]:
+        return sorted(self.events, key=lambda e: e.time)
+
+    def counts(self) -> dict:
+        out = {"join": 0, "leave": 0, "crash": 0}
+        for event in self.events:
+            out[event.kind] += 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def generate_churn(duration: float, join_rate: float, leave_rate: float,
+                   crash_rate: float = 0.0, seed: int = 0) -> ChurnSchedule:
+    """Poisson-ish churn: events are spread uniformly over ``duration`` with
+    expected counts ``rate × duration`` per kind."""
+    rng = random.Random(seed)
+    schedule = ChurnSchedule()
+    for kind, rate in (("join", join_rate), ("leave", leave_rate), ("crash", crash_rate)):
+        expected = rate * duration
+        count = int(expected)
+        if rng.random() < expected - count:
+            count += 1
+        for _ in range(count):
+            schedule.add(ChurnEvent(time=rng.uniform(0, duration), kind=kind,
+                                    target_index=None))
+    return schedule
+
+
+def apply_churn(system: SupervisedPubSub, schedule: ChurnSchedule,
+                topic: Optional[str] = None, seed: int = 0) -> None:
+    """Register the schedule's events as simulator callbacks.
+
+    ``leave`` and ``crash`` events pick a random live member at the time the
+    event fires, which keeps the schedule meaningful even when prior events
+    changed the membership.
+    """
+    topic = topic or system.params.default_topic
+    rng = random.Random(seed * 31 + 17)
+
+    def make_callback(event: ChurnEvent):
+        def callback() -> None:
+            if event.kind == "join":
+                system.add_subscriber(topic)
+                return
+            members = system.members(topic)
+            if not members:
+                return
+            if event.target_index is not None and event.target_index < len(members):
+                victim = members[event.target_index]
+            else:
+                victim = rng.choice(members)
+            if event.kind == "leave":
+                system.unsubscribe(victim, topic)
+            else:
+                system.crash(victim)
+        return callback
+
+    for event in schedule.sorted_events():
+        system.sim.call_at(system.sim.now + event.time, make_callback(event))

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ProtocolParams, SupervisedPubSub
+from repro.core.system import build_stable_system
+
+
+@pytest.fixture(scope="session")
+def stable_system_8():
+    """A converged 8-subscriber system shared by read-only tests."""
+    system, subscribers = build_stable_system(8, seed=11)
+    return system, subscribers
+
+
+@pytest.fixture()
+def fresh_system():
+    """A factory for fresh systems (tests that mutate state)."""
+    def make(n: int = 8, seed: int = 0, params: ProtocolParams | None = None):
+        return build_stable_system(n, seed=seed, params=params)
+    return make
+
+
+@pytest.fixture()
+def empty_system():
+    def make(seed: int = 0, params: ProtocolParams | None = None) -> SupervisedPubSub:
+        return SupervisedPubSub(seed=seed, params=params)
+    return make

@@ -1,0 +1,130 @@
+"""Tests for adversarial initial states, churn schedules and publication workloads."""
+
+import pytest
+
+from repro.core.config import ProtocolParams
+from repro.core.system import build_stable_system
+from repro.workloads.churn import ChurnEvent, ChurnSchedule, apply_churn, generate_churn
+from repro.workloads.initial_states import (
+    AdversarialConfig,
+    build_adversarial_system,
+)
+from repro.workloads.publications import (
+    generate_payloads,
+    publish_stream,
+    scatter_publications,
+)
+
+
+class TestAdversarialConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdversarialConfig(n=0)
+        with pytest.raises(ValueError):
+            AdversarialConfig(n=4, components=5)
+        with pytest.raises(ValueError):
+            AdversarialConfig(database_mode="weird")
+
+    def test_generator_is_deterministic(self):
+        config = AdversarialConfig(n=8, seed=3, database_mode="corrupted")
+        sys_a, subs_a = build_adversarial_system(config)
+        sys_b, subs_b = build_adversarial_system(config)
+        labels_a = [s.label() for s in subs_a]
+        labels_b = [s.label() for s in subs_b]
+        assert labels_a == labels_b
+        assert dict(sys_a.supervisor.database().entries) == \
+            dict(sys_b.supervisor.database().entries)
+
+    def test_initial_state_is_not_legitimate(self):
+        config = AdversarialConfig(n=10, seed=1, database_mode="corrupted")
+        system, _ = build_adversarial_system(config)
+        assert not system.is_legitimate()
+
+
+class TestTheorem8Convergence:
+    @pytest.mark.parametrize("mode", ["empty", "partial", "corrupted", "correct"])
+    def test_convergence_from_every_database_mode(self, mode):
+        config = AdversarialConfig(n=10, seed=4, database_mode=mode)
+        system, _ = build_adversarial_system(config)
+        assert system.run_until_legitimate(max_rounds=1500), mode
+
+    @pytest.mark.parametrize("components", [1, 2, 3])
+    def test_convergence_from_partitioned_states(self, components):
+        config = AdversarialConfig(n=9, seed=6, components=components,
+                                   database_mode="empty")
+        system, _ = build_adversarial_system(config)
+        assert system.run_until_legitimate(max_rounds=1500)
+
+    def test_convergence_with_corrupted_messages(self):
+        config = AdversarialConfig(n=8, seed=8, corrupted_messages=40,
+                                   database_mode="corrupted")
+        system, _ = build_adversarial_system(config)
+        assert system.run_until_legitimate(max_rounds=1500)
+
+    def test_convergence_with_pseudocode_getconfiguration_variant(self):
+        config = AdversarialConfig(n=8, seed=9, database_mode="empty")
+        params = ProtocolParams(integrate_unknown_requesters=False)
+        system, _ = build_adversarial_system(config, params=params)
+        assert system.run_until_legitimate(max_rounds=1500)
+
+    def test_publications_survive_adversarial_stabilization(self):
+        config = AdversarialConfig(n=8, seed=10, database_mode="empty")
+        system, subscribers = build_adversarial_system(config)
+        keys = scatter_publications(system, subscribers, count=5, seed=2)
+        assert system.run_until_legitimate(max_rounds=1500)
+        assert system.run_until_publications_converged(expected_keys=keys,
+                                                       max_rounds=800)
+
+
+class TestChurn:
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            ChurnEvent(time=-1, kind="join")
+        with pytest.raises(ValueError):
+            ChurnEvent(time=0, kind="explode")
+
+    def test_generate_churn_counts(self):
+        schedule = generate_churn(duration=100, join_rate=0.1, leave_rate=0.05,
+                                  crash_rate=0.02, seed=1)
+        counts = schedule.counts()
+        assert counts["join"] >= 8
+        assert counts["leave"] >= 3
+        assert len(schedule) == sum(counts.values())
+        times = [event.time for event in schedule.sorted_events()]
+        assert times == sorted(times)
+
+    def test_system_survives_churn(self):
+        system, _ = build_stable_system(8, seed=71)
+        schedule = ChurnSchedule()
+        schedule.add(ChurnEvent(time=2.0, kind="join"))
+        schedule.add(ChurnEvent(time=4.0, kind="join"))
+        schedule.add(ChurnEvent(time=6.0, kind="leave"))
+        schedule.add(ChurnEvent(time=8.0, kind="crash"))
+        apply_churn(system, schedule, seed=3)
+        system.run_rounds(12)
+        assert system.run_until_legitimate(max_rounds=1000)
+        assert len(system.members()) == 8  # 8 + 2 joins - 1 leave - 1 crash
+
+
+class TestPublicationWorkloads:
+    def test_generate_payloads_distinct_and_deterministic(self):
+        a = generate_payloads(10, seed=5)
+        b = generate_payloads(10, seed=5)
+        assert a == b
+        assert len(set(a)) == 10
+
+    def test_scatter_publications_places_content(self):
+        system, subscribers = build_stable_system(6, seed=72)
+        keys = scatter_publications(system, subscribers, count=8, seed=1)
+        assert len(keys) == 8
+        total = sum(len(s.publications()) for s in subscribers)
+        assert total == 8  # each publication starts at exactly one subscriber
+
+    def test_publish_stream_delivers_over_time(self):
+        system, subscribers = build_stable_system(6, seed=73)
+        published = publish_stream(system, subscribers, count=5, seed=2,
+                                   spacing_rounds=1.0)
+        system.run_rounds(30)
+        assert len(published) == 5
+        for key in published:
+            assert system.all_subscribers_have(key)

@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.labels import (
+    index_of,
+    label_from_r,
+    label_length,
+    label_of,
+    max_level,
+    r_value,
+    sort_by_r,
+)
+from repro.core.shortcuts import shortcut_labels, shortcut_labels_closed_form
+from repro.core.skip_ring import SkipRingTopology
+from repro.core.supervisor import TopicDatabase
+from repro.pubsub.antientropy import reconcile_once
+from repro.pubsub.patricia import PatriciaTrie
+from repro.pubsub.publications import Publication
+
+SLOW = settings(max_examples=30, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+# ------------------------------------------------------------------ labels
+@given(st.integers(min_value=0, max_value=10 ** 9))
+def test_label_roundtrip(x):
+    assert index_of(label_of(x)) == x
+
+
+@given(st.integers(min_value=0, max_value=10 ** 6))
+def test_label_r_value_in_unit_interval_and_invertible(x):
+    label = label_of(x)
+    value = r_value(label)
+    assert 0 <= value < 1
+    assert label_from_r(value) == label
+
+
+@given(st.integers(min_value=1, max_value=4096))
+def test_labels_have_distinct_positions(n):
+    labels = [label_of(i) for i in range(min(n, 300))]
+    positions = {r_value(lbl) for lbl in labels}
+    assert len(positions) == len(labels)
+
+
+@given(st.integers(min_value=2, max_value=2000))
+def test_label_length_bounded_by_max_level(n):
+    assert all(label_length(label_of(i)) <= max_level(n) for i in range(n - 1, n))
+
+
+@given(st.sets(st.integers(min_value=0, max_value=500), min_size=2, max_size=40))
+def test_sort_by_r_is_total_order(indices):
+    labels = [label_of(i) for i in indices]
+    ordered = sort_by_r(labels)
+    values = [r_value(lbl) for lbl in ordered]
+    assert values == sorted(values)
+
+
+# --------------------------------------------------------------- shortcuts
+@SLOW
+@given(st.integers(min_value=1, max_value=7).map(lambda k: 2 ** k))
+def test_shortcut_recursion_matches_closed_form_powers_of_two(n):
+    topo = SkipRingTopology(n)
+    order = topo.ring_order()
+    top = max_level(n)
+    for position, node in enumerate(order[: min(n, 20)]):
+        own = topo.label(node)
+        left = topo.label(order[position - 1])
+        right = topo.label(order[(position + 1) % n])
+        assert shortcut_labels(own, left, right) == shortcut_labels_closed_form(own, top)
+
+
+@SLOW
+@given(st.integers(min_value=2, max_value=128))
+def test_shortcut_recursion_subset_of_closed_form_general_n(n):
+    """For non-powers of two the locally derived shortcuts may omit targets
+    that coincide with ring neighbours, but never invent extra ones."""
+    topo = SkipRingTopology(n)
+    order = topo.ring_order()
+    top = max_level(n)
+    for position, node in enumerate(order[: min(n, 20)]):
+        own = topo.label(node)
+        left = topo.label(order[position - 1])
+        right = topo.label(order[(position + 1) % n])
+        derived = shortcut_labels(own, left, right)
+        closed = shortcut_labels_closed_form(own, top)
+        assert derived <= closed
+        # anything omitted must already be one of the ring neighbours
+        assert closed - derived <= {left, right} | {own}
+
+
+@SLOW
+@given(st.integers(min_value=1, max_value=96))
+def test_skip_ring_invariants_for_arbitrary_n(n):
+    topo = SkipRingTopology(n)
+    assert topo.average_degree() <= 4.0 + 1e-9
+    assert topo.max_degree() <= 2 * max_level(n)
+    if n >= 2:
+        import networkx as nx
+        assert nx.is_connected(topo.to_networkx())
+        assert topo.diameter() <= max_level(n) + 1
+
+
+# ---------------------------------------------------------------- patricia
+keys_strategy = st.sets(
+    st.text(alphabet="01", min_size=8, max_size=8), min_size=0, max_size=30)
+
+
+@given(keys_strategy)
+def test_patricia_set_semantics(keys):
+    trie = PatriciaTrie(key_bits=8)
+    for key in keys:
+        trie.insert(Publication(publisher=1, payload=key.encode(), key=key))
+    assert set(trie.keys()) == keys
+    assert len(trie) == len(keys)
+    trie.check_invariants()
+    for key in keys:
+        assert key in trie
+        node = trie.search_node(key)
+        assert node is not None and node.is_leaf
+
+
+@given(keys_strategy, st.randoms(use_true_random=False))
+def test_patricia_root_hash_is_insertion_order_independent(keys, rnd):
+    ordered = sorted(keys)
+    shuffled = list(ordered)
+    rnd.shuffle(shuffled)
+    trie_a, trie_b = PatriciaTrie(key_bits=8), PatriciaTrie(key_bits=8)
+    for key in ordered:
+        trie_a.insert(Publication(1, key.encode(), key))
+    for key in shuffled:
+        trie_b.insert(Publication(1, key.encode(), key))
+    assert trie_a.root_summary() == trie_b.root_summary()
+
+
+@given(keys_strategy, keys_strategy)
+def test_patricia_root_hash_equality_iff_same_content(keys_a, keys_b):
+    trie_a, trie_b = PatriciaTrie(key_bits=8), PatriciaTrie(key_bits=8)
+    for key in keys_a:
+        trie_a.insert(Publication(1, key.encode(), key))
+    for key in keys_b:
+        trie_b.insert(Publication(1, key.encode(), key))
+    same_hash = trie_a.root_summary() == trie_b.root_summary()
+    assert same_hash == (keys_a == keys_b)
+
+
+@given(keys_strategy, st.text(alphabet="01", max_size=6))
+def test_patricia_prefix_query_matches_filter(keys, prefix):
+    trie = PatriciaTrie(key_bits=8)
+    for key in keys:
+        trie.insert(Publication(1, key.encode(), key))
+    expected = sorted(k for k in keys if k.startswith(prefix))
+    assert [p.key for p in trie.publications_with_prefix(prefix)] == expected
+
+
+# ------------------------------------------------------------ anti-entropy
+@SLOW
+@given(keys_strategy, keys_strategy)
+def test_antientropy_repeated_exchanges_reach_the_union(keys_a, keys_b):
+    """Theorem 17's pairwise engine: repeated CheckTrie exchanges initiated
+    alternately from both sides converge to the union of the two publication
+    sets, and no exchange ever loses a publication (monotonicity)."""
+    trie_a, trie_b = PatriciaTrie(key_bits=8), PatriciaTrie(key_bits=8)
+    for key in keys_a:
+        trie_a.insert(Publication(1, key.encode(), key))
+    for key in keys_b:
+        trie_b.insert(Publication(2, key.encode(), key))
+    union = keys_a | keys_b
+    for round_index in range(64):
+        if set(trie_a.keys()) == union and set(trie_b.keys()) == union:
+            break
+        before = set(trie_a.keys()) | set(trie_b.keys())
+        source, target = (trie_a, trie_b) if round_index % 2 == 0 else (trie_b, trie_a)
+        reconcile_once(source, target)
+        assert before <= set(trie_a.keys()) | set(trie_b.keys())
+    assert set(trie_a.keys()) == union
+    assert set(trie_b.keys()) == union
+
+
+# ------------------------------------------------------- supervisor repair
+entries_strategy = st.dictionaries(
+    keys=st.text(alphabet="01", min_size=1, max_size=6),
+    values=st.one_of(st.none(), st.integers(min_value=1, max_value=20)),
+    max_size=12,
+)
+
+
+@given(entries_strategy)
+def test_database_repair_always_restores_invariants(entries):
+    db = TopicDatabase(entries=dict(entries))
+    db.repair_labels()
+    assert not db.is_corrupted()
+    # repair never invents subscribers
+    survivors = set(db.members())
+    original = {v for v in entries.values() if v is not None}
+    assert survivors <= original
+
+
+@given(entries_strategy)
+def test_database_repair_is_idempotent(entries):
+    db = TopicDatabase(entries=dict(entries))
+    db.repair_labels()
+    once = dict(db.entries)
+    db.repair_labels()
+    assert db.entries == once

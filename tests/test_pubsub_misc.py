@@ -1,0 +1,109 @@
+"""Unit tests for hashing, flooding helpers and the topic registry."""
+
+import pytest
+
+from repro.baselines.gossip import gossip_round_series, push_gossip_rounds
+from repro.core.labels import max_level
+from repro.pubsub.flooding import (
+    flood_fanout,
+    flood_message_count,
+    ideal_flood_depth,
+    ideal_flood_hops,
+    plain_ring_flood_depth,
+)
+from repro.pubsub.hashing import content_hash, leaf_hash, node_hash, publication_key
+from repro.pubsub.topics import TopicRegistry
+
+
+class TestHashing:
+    def test_publication_key_is_deterministic(self):
+        assert publication_key(3, b"abc", bits=16) == publication_key(3, b"abc", bits=16)
+
+    def test_publication_key_accepts_str(self):
+        assert publication_key(3, "abc", bits=16) == publication_key(3, b"abc", bits=16)
+
+    def test_publication_key_length_and_alphabet(self):
+        key = publication_key(1, b"payload", bits=20)
+        assert len(key) == 20 and set(key) <= {"0", "1"}
+
+    def test_publication_key_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            publication_key(1, b"x", bits=0)
+
+    def test_leaf_and_node_hash_distinct_domains(self):
+        assert leaf_hash("01") != node_hash("01", "01")
+        assert node_hash("a", "b") != node_hash("b", "a")
+
+    def test_content_hash_stable(self):
+        assert content_hash(b"x") == content_hash("x")
+
+
+class TestFlooding:
+    def test_flood_fanout_deduplicates_and_excludes(self):
+        targets = flood_fanout(2, 3, 2, [4, None, 3], exclude=4)
+        assert targets == [2, 3]
+
+    def test_flood_fanout_empty(self):
+        assert flood_fanout(None, None, None, []) == []
+
+    @pytest.mark.parametrize("n", [2, 8, 16, 64, 256, 1024])
+    def test_ideal_flood_depth_logarithmic(self, n):
+        assert ideal_flood_depth(n) <= max_level(n) + 1
+
+    def test_ideal_flood_hops_covers_everyone(self):
+        hops = ideal_flood_hops(32, source=0)
+        assert len(hops) == 32
+        assert hops[0] == 0
+
+    def test_plain_ring_depth_linear(self):
+        assert plain_ring_flood_depth(1) == 0
+        assert plain_ring_flood_depth(16) == 8
+        assert plain_ring_flood_depth(101) == 50
+
+    def test_skip_ring_beats_plain_ring_for_large_n(self):
+        assert ideal_flood_depth(256) < plain_ring_flood_depth(256)
+
+    def test_flood_message_count_bounded_by_twice_edges(self):
+        assert flood_message_count(16) == 2 * (2 * 16 - 3)
+
+
+class TestTopicRegistry:
+    def test_subscribe_and_members(self):
+        registry = TopicRegistry(["news"])
+        registry.subscribe(1, "news")
+        registry.subscribe(2, "news")
+        registry.subscribe(2, "sports")
+        assert registry.members("news") == {1, 2}
+        assert registry.topics() == ["news", "sports"]
+        assert registry.topics_of(2) == ["news", "sports"]
+        assert registry.size("sports") == 1
+        assert "news" in registry
+
+    def test_unsubscribe_and_remove_node(self):
+        registry = TopicRegistry()
+        registry.subscribe(1, "a")
+        registry.subscribe(1, "b")
+        registry.unsubscribe(1, "a")
+        assert registry.members("a") == set()
+        registry.remove_node(1)
+        assert registry.members("b") == set()
+
+    def test_unknown_topic_queries_are_safe(self):
+        registry = TopicRegistry()
+        assert registry.members("ghost") == set()
+        registry.unsubscribe(5, "ghost")
+        assert not registry.has_topic("ghost")
+
+
+class TestGossipBaseline:
+    def test_single_node_needs_no_rounds(self):
+        assert push_gossip_rounds(1) == 0
+
+    def test_gossip_informs_everyone(self):
+        rounds = push_gossip_rounds(64, seed=3)
+        assert 0 < rounds < 64
+
+    def test_gossip_rounds_grow_slowly(self):
+        series = gossip_round_series([8, 64, 256], seed=1, repetitions=3)
+        assert len(series) == 3
+        assert series[-1] < 64

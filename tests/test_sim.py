@@ -1,0 +1,216 @@
+"""Unit tests for the simulation substrate (engine, network, tracing, failures)."""
+
+import pytest
+
+from repro.sim.engine import Simulator, SimulatorConfig
+from repro.sim.failure import CrashSchedule, FailureDetector
+from repro.sim.network import ChannelStats, Message, Network
+from repro.sim.node import ProtocolNode
+from repro.sim.rng import derive_rng, shuffle_deterministically, spawn_seeds
+from repro.sim.tracing import Tracer
+
+
+class EchoNode(ProtocolNode):
+    """Test node: counts pings and echoes them back once."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.pings = 0
+        self.timeouts = 0
+
+    def on_timeout(self):
+        self.timeouts += 1
+
+    def on_Ping(self, sender, reply=True, topic=None):
+        self.pings += 1
+        if reply:
+            self.send(sender, "Ping", reply=False, sender=self.node_id)
+
+
+class TestRng:
+    def test_derive_rng_is_deterministic(self):
+        assert derive_rng(1, "a").random() == derive_rng(1, "a").random()
+        assert derive_rng(1, "a").random() != derive_rng(1, "b").random()
+
+    def test_spawn_seeds(self):
+        seeds = spawn_seeds(7, 5)
+        assert len(seeds) == 5 and len(set(seeds)) == 5
+        assert spawn_seeds(7, 5) == seeds
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+    def test_shuffle_deterministically(self):
+        a = shuffle_deterministically(range(20), 3, "x")
+        b = shuffle_deterministically(range(20), 3, "x")
+        assert a == b and sorted(a) == list(range(20))
+
+
+class TestSimulatorBasics:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimulatorConfig(timeout_period=0)
+        with pytest.raises(ValueError):
+            SimulatorConfig(timeout_jitter=1.5)
+
+    def test_duplicate_node_ids_rejected(self):
+        sim = Simulator()
+        sim.add_node(EchoNode(1))
+        with pytest.raises(ValueError):
+            sim.add_node(EchoNode(1))
+
+    def test_timeouts_fire_repeatedly(self):
+        sim = Simulator(SimulatorConfig(seed=1))
+        node = sim.add_node(EchoNode(1))
+        sim.run_rounds(10)
+        assert node.timeouts >= 8
+        assert sim.completed_timeout_intervals() == node.timeouts
+
+    def test_message_delivery_and_reply(self):
+        sim = Simulator(SimulatorConfig(seed=2))
+        a = sim.add_node(EchoNode(1), schedule_timeout=False)
+        b = sim.add_node(EchoNode(2), schedule_timeout=False)
+        a.send(2, "Ping", sender=1)
+        sim.run_rounds(5)
+        assert b.pings == 1
+        assert a.pings == 1  # echoed back
+        assert sim.network.stats.total_delivered == 2
+
+    def test_unknown_action_is_ignored(self):
+        sim = Simulator(SimulatorConfig(seed=3))
+        sim.add_node(EchoNode(1), schedule_timeout=False)
+        sim.inject_message(1, "Nonsense", {"x": 1})
+        sim.run_rounds(2)  # must not raise
+
+    def test_send_to_none_is_noop(self):
+        sim = Simulator()
+        node = sim.add_node(EchoNode(1), schedule_timeout=False)
+        node.send(None, "Ping", sender=1)
+        assert sim.network.stats.total_sent == 0
+
+    def test_crash_stops_processing_and_drops_messages(self):
+        sim = Simulator(SimulatorConfig(seed=4))
+        a = sim.add_node(EchoNode(1), schedule_timeout=False)
+        b = sim.add_node(EchoNode(2))
+        sim.crash_node(2)
+        a.send(2, "Ping", sender=1)
+        sim.run_rounds(5)
+        assert b.pings == 0 and b.timeouts == 0
+        assert sim.network.stats.dropped_to_crashed == 1
+
+    def test_scheduled_crash(self):
+        sim = Simulator(SimulatorConfig(seed=5))
+        node = sim.add_node(EchoNode(1))
+        sim.crash_node(1, at=3.0)
+        sim.run_rounds(10)
+        assert node.crashed
+        assert node.timeouts <= 4
+
+    def test_run_until_predicate(self):
+        sim = Simulator(SimulatorConfig(seed=6))
+        node = sim.add_node(EchoNode(1))
+        reached = sim.run_until(lambda: node.timeouts >= 5, check_every=1.0, max_time=50)
+        assert reached
+
+    def test_run_until_gives_up(self):
+        sim = Simulator(SimulatorConfig(seed=7))
+        sim.add_node(EchoNode(1))
+        assert not sim.run_until(lambda: False, check_every=1.0, max_time=5)
+
+    def test_call_at(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(2.0, lambda: fired.append(sim.now))
+        sim.run_rounds(5)
+        assert fired and fired[0] >= 2.0
+
+    def test_determinism_across_runs(self):
+        def run(seed):
+            sim = Simulator(SimulatorConfig(seed=seed))
+            nodes = [sim.add_node(EchoNode(i + 1)) for i in range(4)]
+            nodes[0].send(2, "Ping", sender=1)
+            sim.run_rounds(10)
+            return [n.timeouts for n in nodes], sim.network.stats.total_delivered
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+
+class TestNetwork:
+    def test_delay_bounds_validation(self):
+        with pytest.raises(ValueError):
+            Network(min_delay=0, max_delay=1)
+        with pytest.raises(ValueError):
+            Network(min_delay=2, max_delay=1)
+
+    def test_channel_and_implicit_edges(self):
+        sim = Simulator(SimulatorConfig(seed=8))
+        sim.add_node(EchoNode(1), schedule_timeout=False)
+        sim.add_node(EchoNode(2), schedule_timeout=False)
+        sim.nodes[1].send(2, "Ping", sender=1, node=7)
+        assert sim.network.in_flight() == 1
+        assert (2, 7) in sim.network.implicit_edges()
+        assert len(sim.network.channel_of(2)) == 1
+
+    def test_stats_snapshot_and_delta(self):
+        stats = ChannelStats()
+        msg = Message(action="A", params={}, sender=1, dest=2)
+        stats.record_send(msg)
+        stats.record_delivery(msg)
+        snap = stats.snapshot()
+        stats.record_send(Message(action="A", params={}, sender=1, dest=2))
+        delta = stats.delta(snap)
+        assert delta.total_sent == 1 and delta.total_delivered == 0
+        assert stats.sent_by(1, "A") == 2
+        assert stats.received_by(2) == 1
+
+
+class TestTracerAndFailureDetector:
+    def test_tracer_counters_series_marks(self):
+        tracer = Tracer()
+        tracer.record(1.0, "x", node=3, foo="bar")
+        tracer.count("x", 2)
+        tracer.sample("load", 1.0, 0.5)
+        assert tracer.counters["x"] == 3
+        assert tracer.mark_once("done", 2.0)
+        assert not tracer.mark_once("done", 3.0)
+        assert tracer.first_mark("done") == 2.0
+        assert len(tracer.events_of("x")) == 1
+        summary = tracer.summary()
+        assert summary["counters"]["x"] == 3
+
+    def test_tracer_event_cap(self):
+        tracer = Tracer(max_events=2)
+        for i in range(5):
+            tracer.record(float(i), "k")
+        assert len(tracer.events) == 2
+        assert tracer.counters["k"] == 5
+
+    def test_failure_detector_lag(self):
+        detector = FailureDetector(detection_lag=5.0)
+        detector.notify_crash(1, time=10.0)
+        assert not detector.suspects(1, now=12.0)
+        assert detector.suspects(1, now=15.0)
+        assert detector.suspected([1, 2], now=20.0) == [1]
+        assert detector.known_crashes == {1: 10.0}
+
+    def test_failure_detector_validation(self):
+        with pytest.raises(ValueError):
+            FailureDetector(detection_lag=-1)
+
+    def test_crash_schedule(self):
+        schedule = CrashSchedule()
+        schedule.add(5.0, 2)
+        schedule.add(1.0, 3)
+        assert list(schedule) == [(1.0, 3), (5.0, 2)]
+        assert len(schedule) == 2
+        with pytest.raises(ValueError):
+            schedule.add(-1.0, 4)
+
+    def test_crash_schedule_applied_by_simulator(self):
+        sim = Simulator(SimulatorConfig(seed=9))
+        node = sim.add_node(EchoNode(1))
+        schedule = CrashSchedule()
+        schedule.add(2.0, 1)
+        sim.apply_crash_schedule(schedule)
+        sim.run_rounds(6)
+        assert node.crashed

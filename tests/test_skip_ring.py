@@ -1,0 +1,141 @@
+"""Unit tests for the ideal SR(n) topology (Definition 2, Lemma 3, Figure 1)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.labels import label_length, max_level, r_value
+from repro.core.skip_ring import SkipRingTopology, build_skip_ring, figure1_rows
+
+
+class TestConstruction:
+    def test_rejects_empty_ring(self):
+        with pytest.raises(ValueError):
+            SkipRingTopology(0)
+
+    def test_single_node_has_no_edges(self):
+        topo = SkipRingTopology(1)
+        assert topo.edges() == set()
+        assert topo.diameter() == 0
+
+    def test_two_nodes_single_edge(self):
+        topo = SkipRingTopology(2)
+        assert topo.edges() == {(0, 1)}
+
+    def test_ring_edges_form_a_cycle(self):
+        topo = SkipRingTopology(16)
+        graph = nx.Graph()
+        graph.add_edges_from(topo.ring_edges())
+        assert graph.number_of_edges() == 16
+        assert all(d == 2 for _, d in graph.degree())
+        assert nx.is_connected(graph)
+
+    def test_figure1_sr16_edge_counts_per_level(self):
+        # Figure 1: black ring edges (16), green level-3 (8), red level-2 (4),
+        # blue level-1 (1).
+        topo = SkipRingTopology(16)
+        assert len(topo.ring_edges()) == 16
+        by_level = topo.shortcut_edges_by_level()
+        assert len(by_level[3]) == 8
+        assert len(by_level[2]) == 4
+        assert len(by_level[1]) == 1
+
+    def test_figure1_rows(self):
+        rows = figure1_rows(16)
+        assert rows[0] == (0, "0", "0")
+        assert rows[5] == (5, "011", "3/8")
+        assert len(rows) == 16
+
+    def test_build_skip_ring_helper(self):
+        assert build_skip_ring(8).n == 8
+
+
+class TestLemma3:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32, 64, 128])
+    def test_worst_case_degree_bound(self, n):
+        topo = SkipRingTopology(n)
+        assert topo.max_degree() <= 2 * max_level(n)
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 32, 64, 128, 100, 37])
+    def test_average_degree_constant(self, n):
+        topo = SkipRingTopology(n)
+        assert topo.average_degree() <= 4.0
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 32, 64])
+    def test_edge_count_powers_of_two(self, n):
+        # Undirected edge count is 2n-3 for powers of two (the paper's 4n-4
+        # counts two endpoints per node and level; see EXPERIMENTS.md).
+        topo = SkipRingTopology(n)
+        assert topo.num_edges() == 2 * n - 3
+        assert sum(topo.degrees()) <= 4 * n - 4
+
+    @pytest.mark.parametrize("n", [8, 16, 64])
+    def test_per_node_degree_formula(self, n):
+        # Degree of a node with label length k is at most 2(log n - k + 1).
+        topo = SkipRingTopology(n)
+        for node in range(n):
+            k = label_length(topo.label(node))
+            assert topo.degree(node) <= 2 * (max_level(n) - k + 1)
+
+    @pytest.mark.parametrize("n", [2, 3, 7, 16, 33, 64, 128])
+    def test_diameter_logarithmic(self, n):
+        topo = SkipRingTopology(n)
+        assert topo.diameter() <= max_level(n) + 1
+
+    @pytest.mark.parametrize("n", [5, 9, 23, 48])
+    def test_graph_connected_for_any_n(self, n):
+        assert nx.is_connected(SkipRingTopology(n).to_networkx())
+
+
+class TestExpectedState:
+    def test_ring_neighbors_consistency(self):
+        topo = SkipRingTopology(16)
+        for node in range(16):
+            pred, succ = topo.ring_neighbors(node)
+            assert (min(node, pred), max(node, pred)) in topo.ring_edges()
+            assert (min(node, succ), max(node, succ)) in topo.ring_edges()
+
+    def test_expected_state_endpoints(self):
+        topo = SkipRingTopology(8)
+        order = topo.ring_order()
+        minimum, maximum = order[0], order[-1]
+        min_spec = topo.expected_subscriber_state(minimum)
+        max_spec = topo.expected_subscriber_state(maximum)
+        assert min_spec["left"] is None and min_spec["ring"] == maximum
+        assert max_spec["right"] is None and max_spec["ring"] == minimum
+
+    def test_expected_state_interior_nodes_have_no_ring_pointer(self):
+        topo = SkipRingTopology(8)
+        order = topo.ring_order()
+        for node in order[1:-1]:
+            spec = topo.expected_subscriber_state(node)
+            assert spec["ring"] is None
+            assert spec["left"] is not None and spec["right"] is not None
+
+    def test_expected_shortcuts_reference_existing_nodes(self):
+        topo = SkipRingTopology(16)
+        for node in range(16):
+            spec = topo.expected_subscriber_state(node)
+            for label, target in spec["shortcuts"].items():
+                assert topo.label(target) == label
+
+    def test_expected_edge_set_subset_of_definition(self):
+        # For powers of two the locally computable edges equal Definition 2's.
+        topo = SkipRingTopology(16)
+        assert set(topo.expected_edge_set()) == topo.edges()
+
+    def test_expected_edge_set_nonpower_subset(self):
+        topo = SkipRingTopology(11)
+        assert set(topo.expected_edge_set()) <= topo.edges()
+
+    def test_sr16_node_quarter_shortcuts_match_paper_example(self):
+        # The paper's worked example: node 1/4 has shortcuts 1/8, 0, 3/8, 1/2.
+        topo = SkipRingTopology(16)
+        node = topo.index_by_label["01"]  # r = 1/4
+        spec = topo.expected_subscriber_state(node)
+        labels = set(spec["shortcuts"])
+        assert labels == {"001", "0", "011", "1"}  # 1/8, 0, 3/8, 1/2
+
+    def test_labels_map_positions(self):
+        topo = SkipRingTopology(32)
+        positions = [r_value(topo.label(i)) for i in range(32)]
+        assert len(set(positions)) == 32

@@ -1,0 +1,271 @@
+"""Unit tests for the subscriber-side protocol logic (Algorithms 1, 2, 4, 5)."""
+
+import pytest
+
+from repro.core import messages as msg
+from repro.core.config import ProtocolParams
+from repro.core.subscriber import Neighbor, Subscriber
+from repro.core.supervisor import Supervisor
+from repro.sim.engine import Simulator, SimulatorConfig
+
+
+def make_world(n_subscribers: int = 3, params: ProtocolParams | None = None):
+    """A supervisor plus detached subscribers, with timeouts disabled so tests
+    can drive handlers directly."""
+    sim = Simulator(SimulatorConfig(seed=7))
+    supervisor = Supervisor(0, params=params)
+    sim.add_node(supervisor, schedule_timeout=False)
+    subscribers = []
+    for i in range(n_subscribers):
+        sub = Subscriber(i + 1, 0, params=params)
+        sim.add_node(sub, schedule_timeout=False)
+        subscribers.append(sub)
+    return sim, supervisor, subscribers
+
+
+def sent(sim, sender, action):
+    return sim.network.stats.sent_by(sender, action)
+
+
+class TestSetData:
+    def test_adopts_label_and_neighbors(self):
+        # The maximal node ('11' = 3/4) receives pred='1' (normal left) and
+        # succ='0' (smaller r-value: the wrap-around edge, stored in ring).
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.handle_set_data(("1", b.node_id), "11", ("0", c.node_id))
+        assert view.label == "11"
+        assert view.left == Neighbor("1", b.node_id)
+        assert view.right is None
+        assert view.ring == Neighbor("0", c.node_id)
+
+    def test_interior_node_has_plain_left_and_right(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.handle_set_data(("0", b.node_id), "01", ("1", c.node_id))
+        assert view.left == Neighbor("0", b.node_id)
+        assert view.right == Neighbor("1", c.node_id)
+        assert view.ring is None
+
+    def test_empty_config_clears_membership_and_notifies(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.handle_set_data(("0", b.node_id), "01", ("1", c.node_id))
+        view.pending_unsubscribe = True
+        view.handle_set_data(None, None, None)
+        assert view.label is None
+        assert view.left is None and view.right is None and view.ring is None
+        assert not view.subscribed and not view.pending_unsubscribe
+        assert sent(sim, a.node_id, msg.REMOVE_CONNECTIONS) >= 2
+
+    def test_action_iii_requests_config_for_closer_stored_neighbor(self):
+        # Stored left neighbour is closer to us than the proposed one: the
+        # subscriber must ask the supervisor to refresh the stored one.
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.label = "1"
+        view.left = Neighbor("011", c.node_id)  # 3/8, closer to 1/2 than 0
+        view.handle_set_data(("0", b.node_id), "1", None)
+        assert sent(sim, a.node_id, msg.GET_CONFIGURATION) == 1
+
+    def test_unwanted_topic_triggers_unsubscribe_request(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view("ghost-topic", subscribed=False)
+        view.handle_set_data(("0", b.node_id), "01", ("1", c.node_id))
+        assert view.label is None
+        assert sent(sim, a.node_id, msg.UNSUBSCRIBE) == 1
+
+    def test_config_change_counter_only_counts_changes(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        config = (("0", b.node_id), "01", ("1", c.node_id))
+        view.handle_set_data(*config)
+        first = view.config_change_count
+        view.handle_set_data(*config)
+        assert view.config_change_count == first
+
+
+class TestIntroduceAndLinearize:
+    def test_label_correction_reply(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.label = "01"
+        view.handle_introduce(b.node_id, "0", believed="11", flag=msg.FLAG_LIN)
+        assert sent(sim, a.node_id, msg.CORRECT_LABEL) == 1
+
+    def test_unlabeled_receiver_asks_sender_to_remove_it(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.handle_introduce(b.node_id, "0", believed=None, flag=msg.FLAG_LIN)
+        assert sent(sim, a.node_id, msg.REMOVE_CONNECTIONS) == 1
+
+    def test_closer_candidate_replaces_and_delegates_old_neighbor(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.label = "1"                    # r = 1/2
+        view.left = Neighbor("0", b.node_id)  # r = 0 (far)
+        view.handle_linearize(c.node_id, "01")  # r = 1/4, closer on the left
+        assert view.left == Neighbor("01", c.node_id)
+        # old left delegated towards the new one
+        assert sent(sim, a.node_id, msg.LINEARIZE) == 1
+
+    def test_farther_candidate_is_delegated(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.label = "1"
+        view.left = Neighbor("01", b.node_id)
+        view.handle_linearize(c.node_id, "0")  # farther left
+        assert view.left == Neighbor("01", b.node_id)
+        assert sent(sim, a.node_id, msg.LINEARIZE) == 1
+
+    def test_cycle_introduction_kept_only_by_endpoint(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.label = "0"                       # minimal position, left unset
+        view.handle_introduce(c.node_id, "11", believed="0", flag=msg.FLAG_CYC)
+        assert view.ring == Neighbor("11", c.node_id)
+
+    def test_cycle_introduction_pushed_into_list_by_interior_node(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.label = "01"
+        view.left = Neighbor("0", b.node_id)
+        view.handle_introduce(c.node_id, "11", believed="01", flag=msg.FLAG_CYC)
+        assert view.ring is None
+        assert view.right == Neighbor("11", c.node_id)
+
+    def test_correct_label_updates_stored_entry(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.label = "1"
+        view.left = Neighbor("0", b.node_id)
+        view.handle_correct_label(b.node_id, "01")
+        assert view.left == Neighbor("01", b.node_id)
+
+    def test_remove_connections_clears_all_references(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.label = "1"
+        view.left = Neighbor("0", b.node_id)
+        view.shortcuts = {"01": b.node_id, "11": c.node_id}
+        view.handle_remove_connections(b.node_id)
+        assert view.left is None
+        assert view.shortcuts["01"] is None
+        assert view.shortcuts["11"] == c.node_id
+
+
+class TestShortcutHandling:
+    def test_expected_shortcut_is_stored(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.label = "01"
+        view.shortcuts = {"0": None, "1": None}
+        view.handle_introduce_shortcut(b.node_id, "0")
+        assert view.shortcuts["0"] == b.node_id
+
+    def test_replaced_shortcut_keeps_old_reference_in_the_ring(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.label = "01"
+        view.shortcuts = {"0": b.node_id}
+        view.handle_introduce_shortcut(c.node_id, "0")
+        assert view.shortcuts["0"] == c.node_id
+        # The displaced reference is linearized: since the view had no left
+        # neighbour it is absorbed locally rather than forwarded.
+        assert view.left == Neighbor("0", b.node_id)
+
+    def test_unexpected_shortcut_is_delegated_into_ring(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.label = "1"
+        view.left = Neighbor("01", b.node_id)
+        view.handle_introduce_shortcut(c.node_id, "0011")
+        assert "0011" not in view.shortcuts
+        assert sent(sim, a.node_id, msg.LINEARIZE) == 1
+
+
+class TestTimeoutBehaviour:
+    def test_unlabeled_subscribed_view_sends_subscribe(self):
+        sim, sup, (a, b, c) = make_world()
+        a.subscribe()
+        assert sent(sim, a.node_id, msg.SUBSCRIBE) == 1
+        a.on_timeout()
+        assert sent(sim, a.node_id, msg.SUBSCRIBE) == 2
+
+    def test_never_subscribed_peer_is_silent(self):
+        sim, sup, (a, b, c) = make_world()
+        a.on_timeout()
+        assert sim.network.stats.sent_by(a.node_id) == 0
+
+    def test_pending_unsubscribe_keeps_asking_for_permission(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.label = "0"
+        a.unsubscribe()
+        before = sent(sim, a.node_id, msg.UNSUBSCRIBE)
+        a.on_timeout()
+        assert sent(sim, a.node_id, msg.UNSUBSCRIBE) == before + 1
+
+    def test_labeled_node_introduces_itself_to_neighbors(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.label = "01"
+        view.left = Neighbor("0", b.node_id)
+        view.right = Neighbor("1", c.node_id)
+        a.on_timeout()
+        assert sent(sim, a.node_id, msg.INTRODUCE) == 2
+
+    def test_wrong_side_neighbor_is_relinearized_on_timeout(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.label = "0"
+        view.left = Neighbor("1", b.node_id)   # a 'left' neighbour with larger r
+        a.on_timeout()
+        assert view.left is None
+        # pushed to the right side instead (r('1') > r('0'))
+        assert view.right == Neighbor("1", b.node_id)
+
+
+class TestPublicationHandlers:
+    def test_publish_inserts_and_floods(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.label = "0"
+        view.right = Neighbor("1", b.node_id)
+        view.ring = Neighbor("11", c.node_id)
+        publication = a.publish(b"hello")
+        assert publication.key in view.trie
+        assert sent(sim, a.node_id, msg.PUBLISH_NEW) == 2
+
+    def test_publish_new_is_forwarded_once(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.label = "0"
+        view.right = Neighbor("1", b.node_id)
+        incoming = a.publish(b"x")  # seeds the trie and floods
+        first = sent(sim, a.node_id, msg.PUBLISH_NEW)
+        # Receiving the same publication again must not re-flood.
+        view.handle_publish_new(incoming.to_wire(), hops=2, sender=b.node_id)
+        assert sent(sim, a.node_id, msg.PUBLISH_NEW) == first
+
+    def test_check_trie_round_trip_between_two_views(self):
+        params = ProtocolParams()
+        sim, sup, (a, b, c) = make_world(params=params)
+        view_a = a.view(subscribed=True)
+        view_b = b.view(subscribed=True)
+        view_a.label, view_b.label = "0", "1"
+        view_a.right = Neighbor("1", b.node_id)
+        view_b.left = Neighbor("0", a.node_id)
+        pub = a.publish(b"exclusive")
+        # b initiates anti-entropy towards a by processing a's CheckTrie
+        request = view_a.trie.root_summary()
+        view_b.handle_check_trie(a.node_id, [list(request)])
+        sim.run_rounds(10)
+        assert pub.key in view_b.trie
+
+    def test_malformed_publication_wire_data_is_ignored(self):
+        sim, sup, (a, b, c) = make_world()
+        view = a.view(subscribed=True)
+        view.handle_publish([{"bogus": 1}])
+        view.handle_publish_new({"bogus": 1}, hops=1, sender=None)
+        assert len(view.trie) == 0

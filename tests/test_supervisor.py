@@ -1,0 +1,183 @@
+"""Unit tests for the supervisor protocol and database repair (Section 3.1)."""
+
+import pytest
+
+from repro.core.config import ProtocolParams
+from repro.core.labels import label_of
+from repro.core.supervisor import Supervisor, TopicDatabase
+from repro.sim.engine import Simulator, SimulatorConfig
+
+
+class TestTopicDatabase:
+    def test_empty_database_is_not_corrupted(self):
+        assert not TopicDatabase().is_corrupted()
+
+    def test_corruption_condition_i_missing_subscriber(self):
+        db = TopicDatabase(entries={label_of(0): None})
+        assert db.is_corrupted()
+        db.repair_labels()
+        assert not db.is_corrupted() and db.n == 0
+
+    def test_corruption_condition_ii_duplicate_subscriber(self):
+        db = TopicDatabase(entries={label_of(0): 5, label_of(1): 5})
+        assert db.is_corrupted()
+        db.repair_labels()
+        assert not db.is_corrupted()
+        assert db.entries == {label_of(0): 5}
+
+    def test_corruption_condition_iii_missing_label(self):
+        # labels l(0) and l(2) present, l(1) missing
+        db = TopicDatabase(entries={label_of(0): 1, label_of(2): 2})
+        assert db.is_corrupted()
+        db.repair_labels()
+        assert not db.is_corrupted()
+        assert set(db.entries) == {label_of(0), label_of(1)}
+        assert set(db.members()) == {1, 2}
+
+    def test_corruption_condition_iv_out_of_range_label(self):
+        db = TopicDatabase(entries={label_of(0): 1, label_of(7): 2})
+        assert db.is_corrupted()
+        db.repair_labels()
+        assert set(db.entries) == {label_of(0), label_of(1)}
+
+    def test_repair_handles_non_canonical_labels(self):
+        db = TopicDatabase(entries={"010": 3, label_of(0): 1})
+        assert db.is_corrupted()
+        db.repair_labels()
+        assert not db.is_corrupted()
+        assert set(db.members()) == {1, 3}
+
+    def test_repair_removes_crashed_members(self):
+        db = TopicDatabase(entries={label_of(0): 1, label_of(1): 2, label_of(2): 3})
+        db.repair_labels(crashed=[2])
+        assert not db.is_corrupted()
+        assert set(db.members()) == {1, 3}
+        assert set(db.entries) == {label_of(0), label_of(1)}
+
+    def test_repair_is_idempotent(self):
+        db = TopicDatabase(entries={label_of(0): 1, label_of(5): 2, "0100": 9,
+                                    label_of(3): None})
+        db.repair_labels()
+        snapshot = dict(db.entries)
+        db.repair_labels()
+        assert db.entries == snapshot
+
+    def test_check_multiple_copies_keeps_lowest_label(self):
+        db = TopicDatabase(entries={label_of(0): 1, label_of(1): 7, label_of(2): 7})
+        db.check_multiple_copies(7)
+        assert db.entries == {label_of(0): 1, label_of(1): 7}
+
+    def test_configuration_for_cyclic_neighbors(self):
+        db = TopicDatabase(entries={label_of(i): 100 + i for i in range(4)})
+        # ring order by r: l(0)=0, l(2)=1/4, l(1)=1/2, l(3)=3/4
+        pred, succ = db.configuration_for(label_of(0))
+        assert pred == (label_of(3), 103)
+        assert succ == (label_of(2), 102)
+
+    def test_configuration_for_single_entry(self):
+        db = TopicDatabase(entries={label_of(0): 42})
+        assert db.configuration_for(label_of(0)) == (None, None)
+
+    def test_next_label_and_round_robin(self):
+        db = TopicDatabase(entries={label_of(0): 1, label_of(1): 2})
+        assert db.next_label() == label_of(2)
+        labels = {db.round_robin_label() for _ in range(4)}
+        assert labels == {label_of(0), label_of(1)}
+        assert TopicDatabase().round_robin_label() is None
+
+
+def make_supervisor(params: ProtocolParams | None = None):
+    sim = Simulator(SimulatorConfig(seed=5))
+    supervisor = Supervisor(0, params=params)
+    sim.add_node(supervisor, schedule_timeout=False)
+    return sim, supervisor
+
+
+class TestSupervisorHandlers:
+    def test_subscribe_assigns_sequential_labels(self):
+        sim, sup = make_supervisor()
+        for node in (10, 11, 12):
+            sup.on_Subscribe(node)
+        db = sup.database()
+        assert db.label_for(10) == label_of(0)
+        assert db.label_for(11) == label_of(1)
+        assert db.label_for(12) == label_of(2)
+        assert sup.ops_handled == 3
+        # one configuration message per subscribe (Theorem 7)
+        assert sup.op_response_messages == 3
+
+    def test_duplicate_subscribe_does_not_duplicate_entry(self):
+        sim, sup = make_supervisor()
+        sup.on_Subscribe(10)
+        sup.on_Subscribe(10)
+        assert sup.database().n == 1
+
+    def test_unsubscribe_moves_last_label_holder(self):
+        sim, sup = make_supervisor()
+        for node in (10, 11, 12):
+            sup.on_Subscribe(node)
+        sup.on_Unsubscribe(10)  # label l(0) freed; holder of l(2) moves in
+        db = sup.database()
+        assert db.label_for(10) is None
+        assert db.label_for(12) == label_of(0)
+        assert not db.is_corrupted()
+
+    def test_unsubscribe_last_node(self):
+        sim, sup = make_supervisor()
+        sup.on_Subscribe(10)
+        sup.on_Unsubscribe(10)
+        assert sup.database().n == 0
+
+    def test_unsubscribe_unknown_node_still_grants_permission(self):
+        sim, sup = make_supervisor()
+        sup.on_Unsubscribe(99)
+        assert sup.database().n == 0
+        # SetData(⊥,⊥,⊥) was sent to the requester
+        assert sim.network.stats.sent_by(0, "SetData") == 1
+
+    def test_get_configuration_unknown_integrates_by_default(self):
+        sim, sup = make_supervisor()
+        sup.on_GetConfiguration(55)
+        assert sup.database().label_for(55) == label_of(0)
+
+    def test_get_configuration_unknown_pseudocode_variant(self):
+        sim, sup = make_supervisor(ProtocolParams(integrate_unknown_requesters=False))
+        sup.on_GetConfiguration(55)
+        assert sup.database().n == 0
+        assert sim.network.stats.sent_by(0, "SetData") == 1
+
+    def test_requests_from_suspected_nodes_are_ignored(self):
+        sim, sup = make_supervisor()
+        sup.on_Subscribe(10)
+        sim.failure_detector.notify_crash(10, time=0.0)
+        sup.on_GetConfiguration(10)
+        sup.on_Subscribe(10)
+        # the node stays out of the database once CheckLabels runs
+        sup.on_timeout()
+        assert sup.database().label_for(10) is None
+
+    def test_timeout_round_robin_sends_configs(self):
+        sim, sup = make_supervisor()
+        for node in (10, 11, 12, 13):
+            sup.on_Subscribe(node)
+        sent_before = sim.network.stats.sent_by(0, "SetData")
+        for _ in range(4):
+            sup.on_timeout()
+        assert sim.network.stats.sent_by(0, "SetData") == sent_before + 4
+
+    def test_per_topic_isolation(self):
+        sim, sup = make_supervisor()
+        sup.on_Subscribe(10, topic="news")
+        sup.on_Subscribe(11, topic="sports")
+        assert sup.database("news").label_for(10) == label_of(0)
+        assert sup.database("sports").label_for(11) == label_of(0)
+        assert sup.database("news").label_for(11) is None
+        assert sup.topics() == ["news", "sports"]
+
+    def test_is_database_legitimate(self):
+        sim, sup = make_supervisor()
+        for node in (10, 11):
+            sup.on_Subscribe(node)
+        assert sup.is_database_legitimate([10, 11])
+        assert not sup.is_database_legitimate([10])
+        assert not sup.is_database_legitimate([10, 11, 12])
