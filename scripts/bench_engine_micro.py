@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Engine fast-path micro-benchmark: 2 000 nodes x 200 timeout rounds.
+
+Compares three engine configurations on the same seeded workload (every node
+sends one message per Timeout — the Timeout-storm event mix that dominates
+large runs):
+
+* ``seed-style``  — binary heap + per-message ``getattr`` dispatch, emulating
+  the pre-fast-path engine;
+* ``heap``        — binary heap + precompiled dispatch tables;
+* ``wheel``       — bucketed timeout wheel + precompiled dispatch tables
+  (the default engine).
+
+All three must process the identical event sequence (asserted via step and
+delivery counts).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.sim.engine import Simulator, SimulatorConfig
+from repro.sim.node import ProtocolNode
+
+NODES = 2_000
+ROUNDS = 200
+
+
+class Chatter(ProtocolNode):
+    """One message per timeout to a fixed neighbour."""
+
+    def on_timeout(self) -> None:
+        self.send(self.node_id % NODES + 1, "Ping", sender=self.node_id)
+
+    def on_Ping(self, sender, topic=None) -> None:
+        pass
+
+
+class GetattrChatter(Chatter):
+    """Chatter with the seed engine's per-message getattr dispatch."""
+
+    def dispatch(self, msg) -> None:
+        if self.crashed:
+            return
+        handler = getattr(self, f"on_{msg.action}", None)
+        if handler is None:
+            return
+        params = dict(msg.params)
+        if msg.topic is not None and "topic" not in params:
+            params["topic"] = msg.topic
+        handler(**params)
+
+
+def run(scheduler: str, node_cls) -> tuple[float, int, int]:
+    sim = Simulator(SimulatorConfig(seed=42, scheduler=scheduler))
+    for i in range(NODES):
+        sim.add_node(node_cls(i + 1))
+    start = time.perf_counter()
+    sim.run_rounds(ROUNDS)
+    elapsed = time.perf_counter() - start
+    return elapsed, sim.steps_executed, sim.network.stats.total_delivered
+
+
+def main() -> None:
+    configs = [
+        ("seed-style (heap + getattr)", "heap", GetattrChatter),
+        ("heap + dispatch table", "heap", Chatter),
+        ("wheel + dispatch table", "wheel", Chatter),
+    ]
+    reference = None
+    results = []
+    for label, scheduler, node_cls in configs:
+        elapsed, steps, delivered = run(scheduler, node_cls)
+        if reference is None:
+            reference = (steps, delivered)
+        assert (steps, delivered) == reference, "event sequences diverged"
+        results.append((label, elapsed, steps, delivered))
+    base = results[0][1]
+    print(f"{NODES} nodes x {ROUNDS} rounds ({results[0][2]:,} events)")
+    for label, elapsed, _steps, _delivered in results:
+        print(f"  {label:32s} {elapsed:6.2f} s   ({base / elapsed:.2f}x vs seed-style)")
+
+
+if __name__ == "__main__":
+    main()

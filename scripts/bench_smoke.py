@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Smoke benchmark: one tiny sharded-scaling config, run in a few seconds.
+
+Catches perf and correctness regressions in the cluster + engine hot paths
+early (CI runs this on every push).  Exits non-zero if the sharded cluster
+fails to stabilize, if the hotspot-load reduction disappears, or if the run
+takes implausibly long.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.cluster import build_stable_sharded_system
+from repro.core.system import SupervisedPubSub
+
+TOPICS = [f"topic-{i}" for i in range(4)]
+SUBSCRIBERS_PER_TOPIC = 4
+SHARDS = 4
+ROUNDS = 20
+WALL_BUDGET_SECONDS = 60.0
+
+
+def main() -> int:
+    start = time.perf_counter()
+
+    baseline = SupervisedPubSub(seed=11)
+    for topic in TOPICS:
+        for _ in range(SUBSCRIBERS_PER_TOPIC):
+            baseline.add_subscriber(topic)
+    if not all(baseline.run_until_legitimate(t, max_rounds=2_000) for t in TOPICS):
+        print("FAIL: single-supervisor baseline did not stabilize")
+        return 1
+    baseline.run_rounds(ROUNDS)
+    baseline_max = max(baseline.supervisor_request_counts().values())
+
+    cluster = build_stable_sharded_system(TOPICS, SUBSCRIBERS_PER_TOPIC,
+                                          shards=SHARDS, seed=11)
+    cluster.run_rounds(ROUNDS)
+    counts = cluster.supervisor_request_counts()
+    hotspot = max(counts.values())
+    elapsed = time.perf_counter() - start
+
+    ratio = hotspot / baseline_max
+    print(f"baseline max load      : {baseline_max}")
+    print(f"sharded per-supervisor : {dict(sorted(counts.items()))}")
+    print(f"hotspot / baseline     : {ratio:.3f}")
+    print(f"wall time              : {elapsed:.2f} s")
+
+    if ratio > 0.6:
+        print(f"FAIL: hotspot ratio {ratio:.3f} exceeds 0.6 — sharding regressed")
+        return 1
+    if elapsed > WALL_BUDGET_SECONDS:
+        print(f"FAIL: smoke run took {elapsed:.1f} s (> {WALL_BUDGET_SECONDS} s budget) "
+              "— engine perf regressed")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

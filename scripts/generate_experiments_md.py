@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regenerate EXPERIMENTS.md by running every experiment (E1–E10, A1–A3).
+"""Regenerate EXPERIMENTS.md by running every experiment (E1–E11, A1–A3).
 
 Usage::
 
@@ -108,6 +108,18 @@ COMMENTARY = {
         "**Measured.** Broker messages grow linearly with the number of publications "
         "while the supervisor's message count depends only on membership operations and "
         "the constant-rate maintenance traffic."
+    ),
+    "E11": (
+        "**Beyond the paper.** The single well-known supervisor handles every "
+        "Subscribe/Unsubscribe/GetConfiguration of every topic — the paper's admitted "
+        "scalability bottleneck. The cluster layer (`repro.cluster`) shards topics "
+        "across K supervisors with bounded-loads consistent hashing; each topic's "
+        "BuildSR instance runs against its owning shard unchanged.\n\n"
+        "**Measured.** The same 8-topic workload is run against the single-supervisor "
+        "facade and against the sharded facade for K = 1, 2, 4. K=1 reproduces the "
+        "baseline load exactly (facade parity); K=4 cuts the hotspot supervisor's "
+        "request load to roughly a quarter of the baseline (well under the 40% "
+        "acceptance bound), scaling the control plane out linearly in K."
     ),
     "A1": (
         "**Design question.** Section 3.2.1's prose integrates an unknown subscriber that "

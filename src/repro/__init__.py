@@ -8,9 +8,14 @@ Strothmann, *Self-Stabilizing Supervised Publish-Subscribe Systems* (2018):
 * the self-stabilizing **publish-subscribe** layer (Patricia-trie
   anti-entropy plus flooding of new publications),
 * the asynchronous message-passing **simulation substrate** the protocol runs
-  on, adversarial initial-state and churn **workloads**, reference
-  **baselines** (Chord, skip graph, centralized broker), and the
-  **experiments** reproducing every quantitative claim of the paper.
+  on (with pluggable heap / timeout-wheel event schedulers), adversarial
+  initial-state and churn **workloads**, reference **baselines** (Chord, skip
+  graph, centralized broker), and the **experiments** reproducing every
+  quantitative claim of the paper,
+* a **sharded cluster layer** (:mod:`repro.cluster`) that scales the system
+  beyond the paper by consistent-hashing topics across K supervisors
+  (:class:`~repro.cluster.sharded.ShardedPubSub`), API-compatible with the
+  single-supervisor facade.
 
 Quickstart
 ----------
@@ -40,10 +45,11 @@ from repro.core import (
     label_of,
     r_value,
 )
+from repro.cluster import ConsistentHashRing, ShardedPubSub, build_stable_sharded_system
 from repro.pubsub import PatriciaTrie, Publication
 from repro.sim import Simulator, SimulatorConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ProtocolParams",
@@ -63,5 +69,8 @@ __all__ = [
     "Publication",
     "Simulator",
     "SimulatorConfig",
+    "ConsistentHashRing",
+    "ShardedPubSub",
+    "build_stable_sharded_system",
     "__version__",
 ]

@@ -21,7 +21,7 @@ random ring neighbour (Algorithm 5).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from repro.core import messages as msg
 from repro.core.config import ProtocolParams
@@ -85,7 +85,8 @@ class TopicView:
         self.owner.send(dest, action, topic=self.topic, **params)
 
     def send_supervisor(self, action: str, **params) -> None:
-        self.owner.send(self.owner.supervisor_id, action, topic=self.topic, **params)
+        self.owner.send(self.owner.supervisor_for(self.topic), action,
+                        topic=self.topic, **params)
 
     # ------------------------------------------------------------- inspection
     def effective_left(self) -> Optional[Neighbor]:
@@ -613,12 +614,21 @@ def _as_summaries(tuples) -> List[Tuple[str, str]]:
 
 
 class Subscriber(ProtocolNode):
-    """A peer that can subscribe to topics, publish and maintain the overlay."""
+    """A peer that can subscribe to topics, publish and maintain the overlay.
+
+    ``supervisor_id`` is the well-known single supervisor of the classic
+    system.  In a sharded cluster (:mod:`repro.cluster`) the supervisor
+    depends on the topic: passing ``supervisor_resolver`` (a callable
+    ``topic -> NodeRef``) routes every supervisor-bound request of a topic
+    view to that topic's owning shard instead.
+    """
 
     def __init__(self, node_id: NodeRef, supervisor_id: NodeRef,
-                 params: Optional[ProtocolParams] = None) -> None:
+                 params: Optional[ProtocolParams] = None,
+                 supervisor_resolver: Optional[Callable[[str], NodeRef]] = None) -> None:
         super().__init__(node_id)
         self.supervisor_id = supervisor_id
+        self.supervisor_resolver = supervisor_resolver
         self.params = params or ProtocolParams()
         self.views: Dict[str, TopicView] = {}
         self.rng: random.Random = random.Random(node_id)
@@ -628,6 +638,12 @@ class Subscriber(ProtocolNode):
     def attach(self, sim) -> None:  # type: ignore[override]
         super().attach(sim)
         self.rng = sim.node_rng(self.node_id)
+
+    def supervisor_for(self, topic: str) -> NodeRef:
+        """The supervisor responsible for ``topic`` (constant unless sharded)."""
+        if self.supervisor_resolver is not None:
+            return self.supervisor_resolver(topic)
+        return self.supervisor_id
 
     # ------------------------------------------------------------------ views
     def view(self, topic: Optional[str] = None, create: bool = True,

@@ -4,7 +4,10 @@
 number of subscribers, and exposes the operations a user of the system cares
 about (subscribe, unsubscribe, publish, crash) together with the
 state-inspection helpers the experiments need (legitimacy checks, convergence
-driving, message accounting).
+driving, message accounting).  All machinery that does not depend on having a
+*single* supervisor lives in :class:`repro.core.facade.PubSubFacadeBase`,
+which is shared with the sharded cluster facade
+(:class:`repro.cluster.sharded.ShardedPubSub`).
 
 Example
 -------
@@ -21,182 +24,38 @@ True
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.config import ProtocolParams
+from repro.core.facade import PubSubFacadeBase
 from repro.core.subscriber import Subscriber
 from repro.core.supervisor import Supervisor
-from repro.core import messages as msg
-from repro.pubsub.publications import Publication
-from repro.pubsub.topics import TopicRegistry
-from repro.sim.engine import Simulator, SimulatorConfig
+from repro.sim.engine import SimulatorConfig
 from repro.sim.node import NodeRef
 
 #: The supervisor's well-known (hard-coded) node id.
 SUPERVISOR_ID: NodeRef = 0
 
 
-class SupervisedPubSub:
+class SupervisedPubSub(PubSubFacadeBase):
     """A supervisor plus a dynamic set of subscribers on one simulator."""
 
     def __init__(self, seed: int = 0, params: Optional[ProtocolParams] = None,
                  sim_config: Optional[SimulatorConfig] = None) -> None:
-        self.params = params or ProtocolParams()
-        config = sim_config or SimulatorConfig(seed=seed)
-        if sim_config is None:
-            config.seed = seed
-        self.sim = Simulator(config)
+        super().__init__(seed=seed, params=params, sim_config=sim_config,
+                         first_subscriber_id=SUPERVISOR_ID + 1)
         self.supervisor = Supervisor(SUPERVISOR_ID, params=self.params)
         self.sim.add_node(self.supervisor)
-        self.subscribers: Dict[NodeRef, Subscriber] = {}
-        self.registry = TopicRegistry([self.params.default_topic])
-        self._next_id = itertools.count(SUPERVISOR_ID + 1)
 
-    # ------------------------------------------------------------------ peers
-    def add_peer(self) -> Subscriber:
-        """Create a peer that knows the supervisor but subscribes to nothing."""
-        node_id = next(self._next_id)
-        subscriber = Subscriber(node_id, SUPERVISOR_ID, params=self.params)
-        self.sim.add_node(subscriber)
-        self.subscribers[node_id] = subscriber
-        return subscriber
+    # ----------------------------------------------------- facade base contract
+    def supervisor_of(self, topic: str) -> Supervisor:
+        return self.supervisor
 
-    def add_subscriber(self, topic: Optional[str] = None,
-                       topics: Optional[Iterable[str]] = None) -> Subscriber:
-        """Create a peer and subscribe it to ``topic`` (or each of ``topics``)."""
-        subscriber = self.add_peer()
-        wanted = list(topics) if topics is not None else [topic or self.params.default_topic]
-        for t in wanted:
-            self.subscribe(subscriber, t)
-        return subscriber
+    def supervisor_node_ids(self) -> List[NodeRef]:
+        return [SUPERVISOR_ID]
 
-    def subscribe(self, subscriber: Subscriber | NodeRef, topic: Optional[str] = None) -> None:
-        subscriber = self._resolve(subscriber)
-        topic = topic or self.params.default_topic
-        subscriber.subscribe(topic)
-        self.registry.subscribe(subscriber.node_id, topic)
-
-    def unsubscribe(self, subscriber: Subscriber | NodeRef, topic: Optional[str] = None) -> None:
-        subscriber = self._resolve(subscriber)
-        topic = topic or self.params.default_topic
-        subscriber.unsubscribe(topic)
-        self.registry.unsubscribe(subscriber.node_id, topic)
-
-    def crash(self, subscriber: Subscriber | NodeRef, at: Optional[float] = None) -> None:
-        """Crash a subscriber without warning (Section 3.3)."""
-        subscriber = self._resolve(subscriber)
-        self.sim.crash_node(subscriber.node_id, at=at)
-        self.registry.remove_node(subscriber.node_id)
-
-    def publish(self, subscriber: Subscriber | NodeRef, payload: bytes | str,
-                topic: Optional[str] = None) -> Publication:
-        subscriber = self._resolve(subscriber)
-        return subscriber.publish(payload, topic or self.params.default_topic)
-
-    def _resolve(self, subscriber: Subscriber | NodeRef) -> Subscriber:
-        if isinstance(subscriber, Subscriber):
-            return subscriber
-        return self.subscribers[subscriber]
-
-    # --------------------------------------------------------------- execution
-    def run_rounds(self, rounds: int) -> None:
-        """Advance simulation time by ``rounds`` timeout periods."""
-        self.sim.run_rounds(rounds)
-
-    def run_for(self, duration: float) -> None:
-        self.sim.run_for(duration)
-
-    def run_until_legitimate(self, topic: Optional[str] = None, max_rounds: int = 2_000,
-                             check_every_rounds: int = 5) -> bool:
-        """Run until the overlay for ``topic`` (default: every registered topic)
-        is in a legitimate state, or ``max_rounds`` timeout periods elapse."""
-        topics = [topic] if topic is not None else self.registry.topics()
-        period = self.sim.config.timeout_period
-
-        def predicate() -> bool:
-            return all(self.is_legitimate(t) for t in topics)
-
-        return self.sim.run_until(predicate,
-                                  check_every=check_every_rounds * period,
-                                  max_time=max_rounds * period)
-
-    def run_until_publications_converged(self, topic: Optional[str] = None,
-                                         expected_keys: Optional[Set[str]] = None,
-                                         max_rounds: int = 2_000,
-                                         check_every_rounds: int = 5) -> bool:
-        topic = topic or self.params.default_topic
-        period = self.sim.config.timeout_period
-        return self.sim.run_until(
-            lambda: self.publications_converged(topic, expected_keys),
-            check_every=check_every_rounds * period,
-            max_time=max_rounds * period)
-
-    # ------------------------------------------------------------- inspection
-    def members(self, topic: Optional[str] = None) -> List[NodeRef]:
-        """Live intended members of ``topic`` (the ground truth the converged
-        overlay must reflect)."""
-        topic = topic or self.params.default_topic
-        return sorted(
-            node_id for node_id in self.registry.members(topic)
-            if node_id in self.subscribers and not self.subscribers[node_id].crashed
-        )
-
-    def is_legitimate(self, topic: Optional[str] = None) -> bool:
-        from repro.analysis.convergence import ring_legitimate
-        topic = topic or self.params.default_topic
-        return ring_legitimate(self.supervisor, self.subscribers,
-                               self.members(topic), topic).legitimate
-
-    def legitimacy_report(self, topic: Optional[str] = None):
-        from repro.analysis.convergence import ring_legitimate
-        topic = topic or self.params.default_topic
-        return ring_legitimate(self.supervisor, self.subscribers,
-                               self.members(topic), topic)
-
-    def publications_converged(self, topic: Optional[str] = None,
-                               expected_keys: Optional[Set[str]] = None) -> bool:
-        from repro.analysis.convergence import publications_converged
-        topic = topic or self.params.default_topic
-        return publications_converged(self.subscribers, self.members(topic), topic,
-                                      expected_keys)
-
-    def all_subscribers_have(self, key: str, topic: Optional[str] = None) -> bool:
-        topic = topic or self.params.default_topic
-        members = self.members(topic)
-        return bool(members) and all(
-            self.subscribers[m].has_publication(key, topic) for m in members)
-
-    def explicit_edges(self, topic: Optional[str] = None) -> Set[Tuple[int, int]]:
-        """Current undirected explicit edge set among live members of ``topic``."""
-        topic = topic or self.params.default_topic
-        edges: Set[Tuple[int, int]] = set()
-        members = set(self.members(topic))
-        for node_id in members:
-            view = self.subscribers[node_id].view(topic, create=False)
-            if view is None:
-                continue
-            for ref in view.neighbor_refs():
-                if ref in members:
-                    edges.add((node_id, ref) if node_id <= ref else (ref, node_id))
-        return edges
-
-    # ---------------------------------------------------------------- metrics
-    def supervisor_request_count(self) -> int:
-        """Messages the supervisor has received that constitute load
-        (Subscribe/Unsubscribe/GetConfiguration)."""
-        stats = self.sim.network.stats
-        return sum(stats.received_by(SUPERVISOR_ID, action)
-                   for action in msg.SUPERVISOR_REQUEST_ACTIONS)
-
-    def message_stats(self):
-        return self.sim.network.stats
-
-    def snapshot_message_stats(self):
-        return self.sim.network.stats.snapshot()
-
-    def subscriber_ids(self) -> List[NodeRef]:
-        return sorted(self.subscribers)
+    def _new_subscriber(self, node_id: NodeRef) -> Subscriber:
+        return Subscriber(node_id, SUPERVISOR_ID, params=self.params)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"SupervisedPubSub(n={len(self.subscribers)}, "

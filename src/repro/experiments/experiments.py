@@ -411,6 +411,71 @@ def e10_broker_comparison(n_subscribers: Sequence[int] = (32, 128),
     return result
 
 
+# -------------------------------------------------------------------------- E11
+def e11_sharded_scaling(shard_counts: Sequence[int] = (1, 2, 4), topics: int = 8,
+                        subscribers_per_topic: int = 6, rounds: int = 40,
+                        seed: int = 21) -> ExperimentResult:
+    """Beyond the paper: sharding topics across K supervisors divides the
+    per-supervisor request load (the system's admitted bottleneck).
+
+    The same workload — ``topics`` topics with ``subscribers_per_topic``
+    subscribers each, stabilized and then run for ``rounds`` maintenance
+    rounds — is executed against the single-supervisor facade
+    (:class:`SupervisedPubSub`) and against :class:`ShardedPubSub` for each
+    shard count K.  The measured quantity is the number of
+    Subscribe/Unsubscribe/GetConfiguration messages each supervisor received
+    over the whole run; the hotspot is the maximum over supervisors.
+    """
+    from repro.cluster import ShardedPubSub
+
+    result = ExperimentResult(
+        experiment_id="E11",
+        title="Sharded supervisor cluster: per-supervisor request load vs K",
+        headers=["facade", "K", "stabilized", "total reqs", "max/supervisor",
+                 "mean/supervisor", "hotspot vs baseline"],
+    )
+    topic_names = [f"topic-{i}" for i in range(topics)]
+
+    def populate_and_run(system) -> Tuple[bool, Dict[int, int]]:
+        for topic in topic_names:
+            for _ in range(subscribers_per_topic):
+                system.add_subscriber(topic)
+        ok = all(system.run_until_legitimate(t, max_rounds=2_000) for t in topic_names)
+        system.run_rounds(rounds)
+        return ok, system.supervisor_request_counts()
+
+    baseline_ok, baseline_counts = populate_and_run(SupervisedPubSub(seed=seed))
+    baseline_max = max(baseline_counts.values())
+    baseline_mean = sum(baseline_counts.values()) / len(baseline_counts)
+    result.add_row("single", 1, baseline_ok, sum(baseline_counts.values()),
+                   baseline_max, round(baseline_mean, 1), 1.0)
+    result.claim("single-supervisor baseline stabilizes all topics", baseline_ok)
+
+    hotspots: List[int] = []
+    for k in shard_counts:
+        ok, counts = populate_and_run(ShardedPubSub(shards=k, seed=seed))
+        hotspot = max(counts.values())
+        mean = sum(counts.values()) / len(counts)
+        ratio = hotspot / baseline_max
+        hotspots.append(hotspot)
+        result.add_row("sharded", k, ok, sum(counts.values()), hotspot,
+                       round(mean, 1), round(ratio, 3))
+        result.claim(f"K={k}: all {topics} topics stabilize", ok)
+        if k == 1:
+            result.claim("K=1 sharded facade matches single-supervisor load exactly",
+                         counts == baseline_counts)
+    result.claim("hotspot load non-increasing in K",
+                 all(a >= b for a, b in zip(hotspots, hotspots[1:])))
+    if 4 in shard_counts:
+        k4_hotspot = hotspots[list(shard_counts).index(4)]
+        result.claim("K=4 hotspot <= 40% of single-supervisor baseline",
+                     k4_hotspot <= 0.40 * baseline_max)
+    result.metadata.update({"topics": topics,
+                            "subscribers_per_topic": subscribers_per_topic,
+                            "rounds": rounds, "seed": seed})
+    return result
+
+
 # ------------------------------------------------------------------ ablations
 def a1_ablation_integration(n: int = 16, seeds: Sequence[int] = (0, 1),
                             max_rounds: int = 1_500) -> ExperimentResult:
@@ -509,6 +574,7 @@ ALL_EXPERIMENTS = {
     "E8": e8_congestion,
     "E9": e9_failures,
     "E10": e10_broker_comparison,
+    "E11": e11_sharded_scaling,
     "A1": a1_ablation_integration,
     "A2": a2_ablation_minimal_request,
     "A3": a3_ablation_flooding,

@@ -62,3 +62,15 @@ def node_hash(child_hash_left: str, child_hash_right: str) -> str:
 def content_hash(payload: BytesLike) -> str:
     """Convenience hash of a raw payload (used for deduplication in examples)."""
     return hashlib.sha256(b"content|" + _to_bytes(payload)).hexdigest()
+
+
+def ring_position(data: BytesLike, salt: BytesLike = b"") -> int:
+    """Deterministic 64-bit position on the consistent-hash ring.
+
+    Used by :mod:`repro.cluster.sharding` to place both shard virtual nodes
+    and topic keys on the same ``[0, 2^64)`` ring.  Like the other hashes in
+    this module it is truncated SHA-256: deterministic across processes and
+    runs, with no cryptographic claims.
+    """
+    digest = hashlib.sha256(b"ring|" + _to_bytes(salt) + b"|" + _to_bytes(data)).digest()
+    return int.from_bytes(digest[:8], "big")

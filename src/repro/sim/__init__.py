@@ -22,12 +22,22 @@ from repro.sim.engine import Simulator, SimulatorConfig
 from repro.sim.network import Message, Network, ChannelStats
 from repro.sim.node import ProtocolNode, NodeRef
 from repro.sim.failure import FailureDetector, CrashSchedule
+from repro.sim.scheduler import (
+    EventScheduler,
+    HeapScheduler,
+    TimeoutWheelScheduler,
+    make_scheduler,
+)
 from repro.sim.tracing import Tracer, TraceEvent
 from repro.sim.rng import derive_rng, spawn_seeds
 
 __all__ = [
     "Simulator",
     "SimulatorConfig",
+    "EventScheduler",
+    "HeapScheduler",
+    "TimeoutWheelScheduler",
+    "make_scheduler",
     "Message",
     "Network",
     "ChannelStats",

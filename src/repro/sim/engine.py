@@ -15,16 +15,16 @@ All randomness is derived from a single master seed
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.sim.failure import CrashSchedule, FailureDetector
 from repro.sim.network import Message, Network
 from repro.sim.node import NodeRef, ProtocolNode
 from repro.sim.rng import derive_rng
+from repro.sim.scheduler import SCHEDULER_NAMES, EventScheduler, make_scheduler
 from repro.sim.tracing import Tracer
 
 
@@ -47,6 +47,10 @@ class SimulatorConfig:
         Lag of the supervisor's failure detector (Section 3.3).
     keep_trace_events:
         Whether the tracer stores individual events (counters are always kept).
+    scheduler:
+        Event-queue implementation: ``"wheel"`` (bucketed timeout wheel, the
+        fast default) or ``"heap"`` (binary heap).  Both produce identical
+        event orders for identical seeds (see :mod:`repro.sim.scheduler`).
     """
 
     seed: int = 0
@@ -56,12 +60,16 @@ class SimulatorConfig:
     timeout_jitter: float = 0.2
     detection_lag: float = 0.0
     keep_trace_events: bool = False
+    scheduler: str = "wheel"
 
     def __post_init__(self) -> None:
         if self.timeout_period <= 0:
             raise ValueError("timeout_period must be positive")
         if not 0 <= self.timeout_jitter < 1:
             raise ValueError("timeout_jitter must lie in [0, 1)")
+        if self.scheduler not in SCHEDULER_NAMES:
+            raise ValueError(
+                f"scheduler must be one of {SCHEDULER_NAMES}, got {self.scheduler!r}")
 
 
 # Event kinds used in the heap
@@ -83,7 +91,8 @@ class Simulator:
         self.failure_detector.attach(self)
         self.nodes: Dict[NodeRef, ProtocolNode] = {}
         self.timeout_counts: Dict[NodeRef, int] = {}
-        self._heap: List[tuple[float, int, int, Any]] = []
+        self.scheduler: EventScheduler = make_scheduler(
+            self.config.scheduler, self.config.timeout_period)
         self._seq = itertools.count()
         self._delay_rng = derive_rng(self.config.seed, "delay")
         self._jitter_rng = derive_rng(self.config.seed, "jitter")
@@ -160,14 +169,14 @@ class Simulator:
         self._push(max(time, self.now), _CALL, fn)
 
     def _push(self, time: float, kind: int, payload: Any) -> None:
-        heapq.heappush(self._heap, (time, next(self._seq), kind, payload))
+        self.scheduler.push((time, next(self._seq), kind, payload))
 
     # -------------------------------------------------------------- execution
     def step(self) -> bool:
         """Process a single event.  Returns False when no event is pending."""
-        if not self._heap:
+        if not self.scheduler:
             return False
-        time, _, kind, payload = heapq.heappop(self._heap)
+        time, _, kind, payload = self.scheduler.pop()
         self.now = max(self.now, time)
         self._steps += 1
         if kind == _DELIVER:
@@ -207,7 +216,11 @@ class Simulator:
 
     def run_until_time(self, deadline: float, max_steps: Optional[int] = None) -> None:
         steps = 0
-        while self._heap and self._heap[0][0] <= deadline:
+        next_time = self.scheduler.next_time
+        while True:
+            upcoming = next_time()
+            if upcoming is None or upcoming > deadline:
+                break
             if max_steps is not None and steps >= max_steps:
                 break
             self.step()
@@ -230,7 +243,7 @@ class Simulator:
             if predicate():
                 return True
             self.run_until_time(min(self.now + check_every, deadline))
-            if not self._heap and self.now >= deadline:
+            if not self.scheduler and self.now >= deadline:
                 break
         return predicate()
 

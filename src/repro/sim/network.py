@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
 
@@ -63,57 +63,125 @@ class Message:
         )
 
 
-@dataclass
 class ChannelStats:
-    """Aggregated message statistics, queryable per node and per action."""
+    """Aggregated message statistics, queryable per node and per action.
 
-    sent_by_node: Counter = field(default_factory=Counter)
-    received_by_node: Counter = field(default_factory=Counter)
-    sent_by_action: Counter = field(default_factory=Counter)
-    received_by_action: Counter = field(default_factory=Counter)
-    sent_by_node_action: Counter = field(default_factory=Counter)
-    received_by_node_action: Counter = field(default_factory=Counter)
-    dropped_to_crashed: int = 0
-    total_sent: int = 0
-    total_delivered: int = 0
+    The recording hot path (one :meth:`record_send` per submitted message,
+    one :meth:`record_delivery` per delivered message) performs a single dict
+    update on one ``(node, action)`` table plus an integer increment.  The
+    per-node, per-action and per-(node, action) :class:`Counter` views the
+    experiments consume are derived lazily on first access and cached until
+    the next write, so querying stays as convenient as the eager counters the
+    seed kept while the per-message cost is O(1) with a minimal constant.
 
+    The view properties are read-only and return fresh :class:`Counter`
+    copies: mutating a returned counter never corrupts the statistics.
+    """
+
+    __slots__ = ("_sent", "_received", "dropped_to_crashed", "total_sent",
+                 "total_delivered", "_derived")
+
+    def __init__(self) -> None:
+        #: raw (sender-or-None, action) -> count and (dest, action) -> count
+        self._sent: Dict[tuple, int] = {}
+        self._received: Dict[tuple, int] = {}
+        self.dropped_to_crashed = 0
+        self.total_sent = 0
+        self.total_delivered = 0
+        self._derived: Dict[str, Counter] = {}
+
+    # -------------------------------------------------------------- recording
     def record_send(self, msg: Message) -> None:
         self.total_sent += 1
-        if msg.sender is not None:
-            self.sent_by_node[msg.sender] += 1
-            self.sent_by_node_action[(msg.sender, msg.action)] += 1
-        self.sent_by_action[msg.action] += 1
+        key = (msg.sender, msg.action)
+        sent = self._sent
+        sent[key] = sent.get(key, 0) + 1
+        if self._derived:
+            self._derived = {}
 
     def record_delivery(self, msg: Message) -> None:
         self.total_delivered += 1
-        self.received_by_node[msg.dest] += 1
-        self.received_by_action[msg.action] += 1
-        self.received_by_node_action[(msg.dest, msg.action)] += 1
+        key = (msg.dest, msg.action)
+        received = self._received
+        received[key] = received.get(key, 0) + 1
+        if self._derived:
+            self._derived = {}
 
     def record_drop(self) -> None:
         self.dropped_to_crashed += 1
 
+    # ---------------------------------------------------------- derived views
+    def _view(self, name: str) -> Counter:
+        view = self._derived.get(name)
+        if view is None:
+            view = Counter()
+            if name == "sent_by_node":
+                for (node, _action), count in self._sent.items():
+                    if node is not None:
+                        view[node] += count
+            elif name == "sent_by_action":
+                for (_node, action), count in self._sent.items():
+                    view[action] += count
+            elif name == "sent_by_node_action":
+                for (node, action), count in self._sent.items():
+                    if node is not None:
+                        view[(node, action)] += count
+            elif name == "received_by_node":
+                for (node, _action), count in self._received.items():
+                    view[node] += count
+            elif name == "received_by_action":
+                for (_node, action), count in self._received.items():
+                    view[action] += count
+            elif name == "received_by_node_action":
+                for (node, action), count in self._received.items():
+                    view[(node, action)] += count
+            else:  # pragma: no cover - programming error
+                raise KeyError(name)
+            self._derived[name] = view
+        return view
+
+    @property
+    def sent_by_node(self) -> Counter:
+        return Counter(self._view("sent_by_node"))
+
+    @property
+    def sent_by_action(self) -> Counter:
+        return Counter(self._view("sent_by_action"))
+
+    @property
+    def sent_by_node_action(self) -> Counter:
+        return Counter(self._view("sent_by_node_action"))
+
+    @property
+    def received_by_node(self) -> Counter:
+        return Counter(self._view("received_by_node"))
+
+    @property
+    def received_by_action(self) -> Counter:
+        return Counter(self._view("received_by_action"))
+
+    @property
+    def received_by_node_action(self) -> Counter:
+        return Counter(self._view("received_by_node_action"))
+
+    # ---------------------------------------------------------------- queries
     def received_by(self, node_id: int, action: Optional[str] = None) -> int:
         """Number of messages delivered to ``node_id`` (optionally one action)."""
         if action is None:
-            return self.received_by_node[node_id]
-        return self.received_by_node_action[(node_id, action)]
+            return self._view("received_by_node")[node_id]
+        return self._received.get((node_id, action), 0)
 
     def sent_by(self, node_id: int, action: Optional[str] = None) -> int:
         """Number of messages sent by ``node_id`` (optionally one action)."""
         if action is None:
-            return self.sent_by_node[node_id]
-        return self.sent_by_node_action[(node_id, action)]
+            return self._view("sent_by_node")[node_id]
+        return self._sent.get((node_id, action), 0)
 
     def snapshot(self) -> "ChannelStats":
         """Return a deep copy usable as a baseline for differential counting."""
         clone = ChannelStats()
-        clone.sent_by_node = Counter(self.sent_by_node)
-        clone.received_by_node = Counter(self.received_by_node)
-        clone.sent_by_action = Counter(self.sent_by_action)
-        clone.received_by_action = Counter(self.received_by_action)
-        clone.sent_by_node_action = Counter(self.sent_by_node_action)
-        clone.received_by_node_action = Counter(self.received_by_node_action)
+        clone._sent = dict(self._sent)
+        clone._received = dict(self._received)
         clone.dropped_to_crashed = self.dropped_to_crashed
         clone.total_sent = self.total_sent
         clone.total_delivered = self.total_delivered
@@ -122,18 +190,23 @@ class ChannelStats:
     def delta(self, baseline: "ChannelStats") -> "ChannelStats":
         """Return the difference ``self - baseline`` (counter-wise)."""
         diff = ChannelStats()
-        diff.sent_by_node = self.sent_by_node - baseline.sent_by_node
-        diff.received_by_node = self.received_by_node - baseline.received_by_node
-        diff.sent_by_action = self.sent_by_action - baseline.sent_by_action
-        diff.received_by_action = self.received_by_action - baseline.received_by_action
-        diff.sent_by_node_action = self.sent_by_node_action - baseline.sent_by_node_action
-        diff.received_by_node_action = (
-            self.received_by_node_action - baseline.received_by_node_action
-        )
+        diff._sent = _dict_delta(self._sent, baseline._sent)
+        diff._received = _dict_delta(self._received, baseline._received)
         diff.dropped_to_crashed = self.dropped_to_crashed - baseline.dropped_to_crashed
         diff.total_sent = self.total_sent - baseline.total_sent
         diff.total_delivered = self.total_delivered - baseline.total_delivered
         return diff
+
+
+def _dict_delta(current: Dict[tuple, int], baseline: Dict[tuple, int]) -> Dict[tuple, int]:
+    """Key-wise ``current - baseline``, keeping only positive entries (matching
+    the semantics of ``Counter`` subtraction on monotonically growing counts)."""
+    out = {}
+    for key, count in current.items():
+        remaining = count - baseline.get(key, 0)
+        if remaining > 0:
+            out[key] = remaining
+    return out
 
 
 class Network:

@@ -17,7 +17,7 @@ into the destination's channel.  Node references are plain integers
 
 from __future__ import annotations
 
-from typing import Any, Optional, TYPE_CHECKING
+from typing import Any, Callable, ClassVar, Dict, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -29,6 +29,30 @@ NodeRef = int
 
 class ProtocolNode:
     """A single protocol participant attached to a :class:`Simulator`."""
+
+    #: Class-level action → unbound-handler table, compiled once per subclass
+    #: (see :meth:`_compile_action_handlers`).  Replaces the per-message
+    #: ``getattr(self, f"on_{action}")`` lookup on the dispatch hot path.
+    _action_handlers: ClassVar[Dict[str, Callable[..., None]]] = {}
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        cls._compile_action_handlers()
+
+    @classmethod
+    def _compile_action_handlers(cls) -> None:
+        """Precompute the message-dispatch table for this class.
+
+        Every method named ``on_<Action>`` anywhere in the MRO handles the
+        action ``<Action>``; subclass definitions shadow base-class ones, as
+        normal attribute lookup would.
+        """
+        table: Dict[str, Callable[..., None]] = {}
+        for klass in reversed(cls.__mro__):
+            for name, fn in vars(klass).items():
+                if name.startswith("on_") and callable(fn):
+                    table[name[3:]] = fn
+        cls._action_handlers = table
 
     def __init__(self, node_id: NodeRef) -> None:
         self.node_id: NodeRef = node_id
@@ -79,13 +103,26 @@ class ProtocolNode:
         """
         if self.crashed:
             return
-        handler = getattr(self, f"on_{msg.action}", None)
+        handler = self._action_handlers.get(msg.action)
         if handler is None:
+            # Slow-path fallback for handlers added after class creation
+            # (monkeypatched class attributes, per-instance handlers): the
+            # precompiled table only sees methods present at class definition.
+            # Replacing an *existing* handler post-definition requires calling
+            # ``cls._compile_action_handlers()`` to refresh the table.
+            bound = getattr(self, f"on_{msg.action}", None)
+            if bound is None:
+                return
+            params = dict(msg.params)
+            if msg.topic is not None and "topic" not in params:
+                params["topic"] = msg.topic
+            bound(**params)
             return
-        params = dict(msg.params)
+        params = msg.params
         if msg.topic is not None and "topic" not in params:
+            params = dict(params)
             params["topic"] = msg.topic
-        handler(**params)
+        handler(self, **params)
 
     # ------------------------------------------------------------------- misc
     def crash(self) -> None:
@@ -94,3 +131,7 @@ class ProtocolNode:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(id={self.node_id})"
+
+
+# Compile the base class's own table (subclasses compile via __init_subclass__).
+ProtocolNode._compile_action_handlers()

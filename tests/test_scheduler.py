@@ -1,0 +1,200 @@
+"""Tests for the pluggable event schedulers, dispatch-table fast path and
+``Simulator.run_until`` edge cases."""
+
+import random
+
+import pytest
+
+from repro.core.system import build_stable_system
+from repro.sim.engine import Simulator, SimulatorConfig
+from repro.sim.node import ProtocolNode
+from repro.sim.scheduler import (
+    HeapScheduler,
+    TimeoutWheelScheduler,
+    make_scheduler,
+)
+
+
+class Pinger(ProtocolNode):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.pings = 0
+        self.timeouts = 0
+
+    def on_timeout(self):
+        self.timeouts += 1
+
+    def on_Ping(self, sender, topic=None):
+        self.pings += 1
+
+
+class TestSchedulerUnits:
+    def test_make_scheduler_names(self):
+        assert isinstance(make_scheduler("heap"), HeapScheduler)
+        assert isinstance(make_scheduler("wheel"), TimeoutWheelScheduler)
+        with pytest.raises(ValueError):
+            make_scheduler("bogus")
+
+    def test_config_rejects_unknown_scheduler(self):
+        with pytest.raises(ValueError):
+            SimulatorConfig(scheduler="fifo")
+
+    def test_wheel_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            TimeoutWheelScheduler(bucket_width=0)
+
+    @pytest.mark.parametrize("width", [0.05, 0.25, 1.0, 10.0])
+    def test_wheel_orders_random_events_like_heap(self, width):
+        rng = random.Random(17)
+        events = [(rng.uniform(0, 50), seq, seq % 4, None) for seq in range(2_000)]
+        heap, wheel = HeapScheduler(), TimeoutWheelScheduler(bucket_width=width)
+        for event in events:
+            heap.push(event)
+            wheel.push(event)
+        assert len(heap) == len(wheel) == len(events)
+        for _ in range(len(events)):
+            assert heap.pop() == wheel.pop()
+        assert len(wheel) == 0 and not wheel
+
+    def test_wheel_interleaved_push_pop_stays_ordered(self):
+        """Late pushes landing in the bucket currently being drained must be
+        emitted in (time, seq) order."""
+        rng = random.Random(5)
+        heap, wheel = HeapScheduler(), TimeoutWheelScheduler(bucket_width=0.25)
+        seq = 0
+        now = 0.0
+        for _ in range(300):
+            event = (rng.uniform(0, 3.0), seq, 0, None)
+            heap.push(event)
+            wheel.push(event)
+            seq += 1
+        for step in range(3_000):
+            assert (heap.next_time() is None) == (wheel.next_time() is None)
+            if heap.next_time() is None:
+                break
+            a, b = heap.pop(), wheel.pop()
+            assert a == b
+            now = a[0]
+            # Push replacements with tiny delays that often hit the current bucket.
+            if step % 2 == 0 and seq < 2_000:
+                event = (now + rng.uniform(0.0, 0.4), seq, 0, None)
+                heap.push(event)
+                wheel.push(event)
+                seq += 1
+
+    def test_wheel_next_time_peeks_without_consuming(self):
+        wheel = TimeoutWheelScheduler(bucket_width=0.5)
+        wheel.push((2.0, 1, 0, "a"))
+        wheel.push((1.0, 0, 0, "b"))
+        assert wheel.next_time() == 1.0
+        assert wheel.next_time() == 1.0
+        assert wheel.pop()[3] == "b"
+        assert wheel.next_time() == 2.0
+        assert len(wheel) == 1
+
+
+class TestEngineParity:
+    def test_identical_event_order_for_identical_seeds(self):
+        """The heap and wheel schedulers must drive byte-identical runs."""
+        def run(scheduler):
+            sim = Simulator(SimulatorConfig(seed=33, scheduler=scheduler))
+            nodes = [sim.add_node(Pinger(i + 1)) for i in range(20)]
+            for node in nodes:
+                node.send(node.node_id % 20 + 1, "Ping", sender=node.node_id)
+            sim.run_rounds(30)
+            return ([n.timeouts for n in nodes], [n.pings for n in nodes],
+                    sim.steps_executed, sim.network.stats.total_delivered, sim.now)
+
+        assert run("heap") == run("wheel")
+
+    def test_full_system_parity_across_schedulers(self):
+        """A complete BuildSR stabilization run converges to the same explicit
+        topology and message totals under either scheduler."""
+        def run(scheduler):
+            config = SimulatorConfig(seed=13, scheduler=scheduler)
+            system, _ = build_stable_system(12, seed=13, sim_config=config)
+            stats = system.message_stats()
+            return (system.explicit_edges(), stats.total_sent, stats.total_delivered,
+                    system.sim.now)
+
+        assert run("heap") == run("wheel")
+
+
+class TestDispatchTable:
+    def test_handler_table_compiled_per_class(self):
+        assert "Ping" in Pinger._action_handlers
+        assert "timeout" in Pinger._action_handlers
+        assert "Ping" not in ProtocolNode._action_handlers
+
+    def test_subclass_overrides_shadow_base_handlers(self):
+        class Double(Pinger):
+            def on_Ping(self, sender, topic=None):
+                self.pings += 2
+
+        sim = Simulator(SimulatorConfig(seed=1))
+        node = sim.add_node(Double(1), schedule_timeout=False)
+        sim.inject_message(1, "Ping", {"sender": 2})
+        sim.run_rounds(3)
+        assert node.pings == 2
+
+    def test_handlers_added_after_class_creation_still_dispatch(self):
+        """The precompiled table misses post-hoc handlers; the getattr
+        fallback must still deliver to them (matching the seed behaviour)."""
+        class Late(ProtocolNode):
+            def __init__(self, node_id):
+                super().__init__(node_id)
+                self.extras = 0
+
+        def on_Extra(self, topic=None):
+            self.extras += 1
+
+        Late.on_Extra = on_Extra  # added after class creation
+        sim = Simulator(SimulatorConfig(seed=8))
+        node = sim.add_node(Late(1), schedule_timeout=False)
+        sim.inject_message(1, "Extra", {})
+        sim.run_rounds(3)
+        assert node.extras == 1
+
+    def test_unknown_action_still_ignored(self):
+        sim = Simulator(SimulatorConfig(seed=2))
+        node = sim.add_node(Pinger(1), schedule_timeout=False)
+        sim.inject_message(1, "NoSuchAction", {"x": 1})
+        sim.run_rounds(3)  # must not raise
+        assert node.pings == 0
+
+
+class TestRunUntilEdgeCases:
+    def test_run_until_with_empty_schedule(self):
+        """No pending events: run_until must terminate and report the predicate."""
+        sim = Simulator(SimulatorConfig(seed=3))
+        assert not sim.run_until(lambda: False, check_every=1.0, max_time=50.0)
+        assert sim.run_until(lambda: True, check_every=1.0, max_time=50.0)
+
+    def test_run_until_predicate_already_true_consumes_no_events(self):
+        sim = Simulator(SimulatorConfig(seed=4))
+        node = sim.add_node(Pinger(1))
+        assert sim.run_until(lambda: True, check_every=1.0, max_time=100.0)
+        assert sim.steps_executed == 0
+        assert node.timeouts == 0
+        assert sim.now == 0.0
+
+    def test_run_until_check_every_larger_than_max_time(self):
+        """The first checkpoint is clamped to the deadline: the run must stop
+        at max_time, not overshoot to check_every."""
+        sim = Simulator(SimulatorConfig(seed=5))
+        node = sim.add_node(Pinger(1))
+        reached = sim.run_until(lambda: node.timeouts >= 10_000,
+                                check_every=500.0, max_time=10.0)
+        assert not reached
+        assert sim.now == pytest.approx(10.0)
+        assert node.timeouts <= 11
+
+    def test_run_until_empty_schedule_mid_run(self):
+        """When the event queue drains before the deadline, run_until must not
+        spin: it stops once time reaches the deadline."""
+        sim = Simulator(SimulatorConfig(seed=6))
+        fired = []
+        sim.call_at(1.0, lambda: fired.append(True))
+        assert not sim.run_until(lambda: False, check_every=2.0, max_time=9.0)
+        assert fired
+        assert sim.now == pytest.approx(9.0)
