@@ -121,6 +121,22 @@ COMMENTARY = {
         "request load to roughly a quarter of the baseline (well under the 40% "
         "acceptance bound), scaling the control plane out linearly in K."
     ),
+    "E12": (
+        "**Beyond the paper.** The paper proves convergence from any initial state but "
+        "assumes a channel that never loses or duplicates messages. The scenario engine "
+        "(`repro.scenarios`) drops that assumption: a seeded link adversary injects "
+        "probabilistic loss, duplication, delay spikes and named partitions with "
+        "scheduled heals, while declarative scenario specs compose churn storms, crash "
+        "waves, publication storms and supervisor failover into reproducible runs "
+        "against either facade (`python -m repro.scenarios --list`).\n\n"
+        "**Measured.** Under 10 % loss plus a partition that heals mid-phase, every "
+        "publication that survived anywhere still reached every surviving subscriber "
+        "(Theorem 17 under adversity) and the overlay re-legitimized after each "
+        "disruption window (Theorem 8). Drops are accounted per reason "
+        "(crashed-destination vs. adversary loss vs. partition), and scenario reports "
+        "are byte-identical per seed on repeat runs and across the heap/wheel "
+        "schedulers — the library doubles as a deterministic regression oracle."
+    ),
     "A1": (
         "**Design question.** Section 3.2.1's prose integrates an unknown subscriber that "
         "requests its configuration; Algorithm 3 instead replies `⊥` and lets the "

@@ -15,7 +15,12 @@ Strothmann, *Self-Stabilizing Supervised Publish-Subscribe Systems* (2018):
 * a **sharded cluster layer** (:mod:`repro.cluster`) that scales the system
   beyond the paper by consistent-hashing topics across K supervisors
   (:class:`~repro.cluster.sharded.ShardedPubSub`), API-compatible with the
-  single-supervisor facade.
+  single-supervisor facade,
+* a **scenario engine** (:mod:`repro.scenarios`) composing adversarial link
+  conditions (loss, duplication, delay spikes, partitions with scheduled
+  heals) and workloads (churn storms, crash waves, publication storms,
+  supervisor failover) into declarative, seed-deterministic stress scenarios
+  runnable against either facade (``python -m repro.scenarios``).
 
 Quickstart
 ----------
@@ -49,7 +54,7 @@ from repro.cluster import ConsistentHashRing, ShardedPubSub, build_stable_sharde
 from repro.pubsub import PatriciaTrie, Publication
 from repro.sim import Simulator, SimulatorConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ProtocolParams",

@@ -234,7 +234,10 @@ class TopicView:
             ref = self.shortcuts.pop(stale_label)
             if ref is not None and ref != self.node_id:
                 self._integrate(stale_label, ref)
-        for wanted in expected:
+        # Sorted so the shortcuts dict's insertion order (and therefore every
+        # later iteration over it, i.e. the message send order) is independent
+        # of PYTHONHASHSEED — runs must be reproducible across processes.
+        for wanted in sorted(expected):
             self.shortcuts.setdefault(wanted, None)
 
         self._introduce_own_level_pair(expected, left_nb, right_nb)

@@ -1,0 +1,227 @@
+"""Seeded link-level adversary: loss, duplication, delay spikes, partitions.
+
+The paper's channel model (Section 2) never loses or duplicates messages.
+Self-stabilization is nonetheless expected to survive harsher conditions —
+a lost message only delays convergence, a duplicate is absorbed by the
+idempotent protocol actions, and a healed partition is just another corrupted
+initial state.  :class:`LinkAdversary` makes those conditions injectable:
+
+* **probabilistic loss** — every submitted message is dropped with
+  probability ``loss_rate``;
+* **duplication** — with probability ``duplicate_rate`` an extra copy with an
+  independently drawn delay is delivered as well;
+* **delay spikes** — during a :class:`DelaySpike` window every drawn delay is
+  multiplied by ``factor`` (simulating congestion without violating the
+  finite-delay guarantee);
+* **named partitions** — a :class:`Partition` splits the node set into
+  groups; while active, any message crossing a group boundary is dropped,
+  both at send time and (for messages already in flight when the partition
+  begins) at delivery time.  Partitions carry a scheduled ``heal_time`` after
+  which the cut disappears — no bookkeeping call needed.
+
+Determinism: all coin flips come from one ``random.Random`` handed in by the
+caller (use :meth:`repro.sim.engine.Simulator.adversary_rng` to derive it
+from the master seed).  The network consults the adversary inside
+``Network.submit``/``pop``, which execute in event order — identical for the
+heap and wheel schedulers — so identical seeds give identical event orders
+with the adversary active.  Tests assert this parity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.sim.network import DROP_ADVERSARY_LOSS, DROP_PARTITION, Message
+
+
+@dataclass(frozen=True)
+class LinkVerdict:
+    """The adversary's decision about one submitted message.
+
+    ``drop_reason`` is ``None`` (deliver) or a
+    :data:`repro.sim.network.DROP_REASONS` name; ``duplicates`` is the number
+    of *extra* copies to deliver; ``delay_factor`` scales the drawn delay.
+    """
+
+    drop_reason: Optional[str] = None
+    duplicates: int = 0
+    delay_factor: float = 1.0
+
+
+#: The verdict for an untouched message (no adversary interference).
+PASS_VERDICT = LinkVerdict()
+
+
+@dataclass(frozen=True)
+class DelaySpike:
+    """Multiply message delays by ``factor`` while ``start <= now < end``."""
+
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("delay spike must end at or after it starts")
+        if self.factor <= 0:
+            raise ValueError("delay factor must be positive")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+class Partition:
+    """A named cut of the node set with a scheduled heal time.
+
+    ``groups`` lists disjoint sets of node ids; every node not mentioned
+    belongs to one implicit *rest* group (which is where supervisors usually
+    end up).  While the partition is active, messages whose sender and
+    destination fall into different groups are severed.  Adversarially
+    injected messages (``sender is None``) are attributed to the rest group.
+    """
+
+    def __init__(self, name: str, groups: Sequence[Iterable[int]],
+                 start: float = 0.0, heal_time: Optional[float] = None) -> None:
+        if heal_time is not None and heal_time < start:
+            raise ValueError("a partition cannot heal before it starts")
+        self.name = name
+        self.groups: List[Set[int]] = [set(g) for g in groups]
+        seen: Set[int] = set()
+        for group in self.groups:
+            if seen & group:
+                raise ValueError(f"partition {name!r} has overlapping groups")
+            seen |= group
+        self.start = start
+        self.heal_time = heal_time
+        self._side: Dict[int, int] = {
+            node: index for index, group in enumerate(self.groups) for node in group
+        }
+
+    def active(self, now: float) -> bool:
+        if now < self.start:
+            return False
+        return self.heal_time is None or now < self.heal_time
+
+    def severs(self, sender: Optional[int], dest: int, now: float) -> bool:
+        if not self.active(now):
+            return False
+        rest = len(self.groups)
+        side_of = self._side.get
+        return side_of(dest, rest) != (rest if sender is None
+                                       else side_of(sender, rest))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        heal = "never" if self.heal_time is None else f"{self.heal_time:.1f}"
+        return (f"Partition({self.name!r}, groups={len(self.groups)}+rest, "
+                f"start={self.start:.1f}, heal={heal})")
+
+
+class LinkAdversary:
+    """Composable adversarial link conditions, drawn from one seeded RNG.
+
+    The object is installed via
+    :meth:`repro.sim.engine.Simulator.install_adversary` and consulted by the
+    network on every send and delivery.  All conditions can be reconfigured
+    mid-run (the scenario runner flips them per phase); :meth:`quiesce`
+    discards delay spikes and, given the current time, healed partitions.
+    """
+
+    def __init__(self, rng: random.Random, loss_rate: float = 0.0,
+                 duplicate_rate: float = 0.0) -> None:
+        self.rng = rng
+        self.loss_rate = 0.0
+        self.duplicate_rate = 0.0
+        self.set_rates(loss_rate, duplicate_rate)
+        self.spikes: List[DelaySpike] = []
+        self.partitions: Dict[str, Partition] = {}
+
+    # -------------------------------------------------------------- configure
+    def set_rates(self, loss_rate: Optional[float] = None,
+                  duplicate_rate: Optional[float] = None) -> None:
+        """Update the probabilistic loss/duplication rates (``None`` keeps)."""
+        if loss_rate is not None:
+            if not 0.0 <= loss_rate < 1.0:
+                raise ValueError("loss_rate must lie in [0, 1)")
+            self.loss_rate = loss_rate
+        if duplicate_rate is not None:
+            if not 0.0 <= duplicate_rate < 1.0:
+                raise ValueError("duplicate_rate must lie in [0, 1)")
+            self.duplicate_rate = duplicate_rate
+
+    def add_delay_spike(self, start: float, end: float, factor: float) -> DelaySpike:
+        spike = DelaySpike(start=start, end=end, factor=factor)
+        self.spikes.append(spike)
+        return spike
+
+    def add_partition(self, name: str, groups: Sequence[Iterable[int]],
+                      start: float = 0.0,
+                      heal_time: Optional[float] = None) -> Partition:
+        """Register a named partition; it activates and heals by itself."""
+        if name in self.partitions:
+            raise ValueError(f"a partition named {name!r} already exists")
+        partition = Partition(name, groups, start=start, heal_time=heal_time)
+        self.partitions[name] = partition
+        return partition
+
+    def heal_partition(self, name: str, now: float) -> None:
+        """Heal partition ``name`` immediately (ahead of its schedule)."""
+        partition = self.partitions.get(name)
+        if partition is None:
+            raise KeyError(f"no partition named {name!r}")
+        partition.heal_time = now
+
+    def quiesce(self, now: Optional[float] = None) -> None:
+        """Stop all probabilistic interference and discard delay spikes.
+        With ``now`` given, partitions already healed by then are swept out
+        (so long multi-phase runs do not accumulate dead cuts in the
+        per-message hooks); still-active partitions keep their scheduled
+        heal times."""
+        self.loss_rate = 0.0
+        self.duplicate_rate = 0.0
+        self.spikes = []
+        if now is not None:
+            self.partitions = {
+                name: p for name, p in self.partitions.items()
+                if p.heal_time is None or p.heal_time > now
+            }
+
+    # ------------------------------------------------------------------ hooks
+    def on_submit(self, msg: Message, now: float) -> LinkVerdict:
+        """Called by ``Network.submit`` for every non-crashed destination."""
+        for partition in self.partitions.values():
+            if partition.severs(msg.sender, msg.dest, now):
+                return LinkVerdict(drop_reason=DROP_PARTITION)
+        delay_factor = 1.0
+        for spike in self.spikes:
+            if spike.active(now):
+                delay_factor *= spike.factor
+        duplicates = 0
+        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            return LinkVerdict(drop_reason=DROP_ADVERSARY_LOSS)
+        if self.duplicate_rate > 0.0 and self.rng.random() < self.duplicate_rate:
+            duplicates = 1
+        if duplicates == 0 and delay_factor == 1.0:
+            return PASS_VERDICT
+        return LinkVerdict(duplicates=duplicates, delay_factor=delay_factor)
+
+    def on_deliver(self, msg: Message, now: float) -> Optional[str]:
+        """Called by ``Network.pop``; a non-``None`` return drops the message.
+
+        Only partitions act here: a message sent before a partition started
+        must not cross the cut while it is active.  Loss/duplication already
+        happened at send time.
+        """
+        for partition in self.partitions.values():
+            if partition.severs(msg.sender, msg.dest, now):
+                return DROP_PARTITION
+        return None
+
+    # -------------------------------------------------------------- inspection
+    def active_partitions(self, now: float) -> List[str]:
+        return sorted(name for name, p in self.partitions.items() if p.active(now))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LinkAdversary(loss={self.loss_rate}, dup={self.duplicate_rate}, "
+                f"spikes={len(self.spikes)}, partitions={sorted(self.partitions)})")

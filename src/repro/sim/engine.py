@@ -96,6 +96,7 @@ class Simulator:
         self._seq = itertools.count()
         self._delay_rng = derive_rng(self.config.seed, "delay")
         self._jitter_rng = derive_rng(self.config.seed, "jitter")
+        self._adversary_rng = derive_rng(self.config.seed, "adversary")
         self._steps = 0
 
     # ------------------------------------------------------------------ nodes
@@ -127,8 +128,10 @@ class Simulator:
         msg = Message(action=action, params=dict(params), sender=sender, dest=dest,
                       topic=topic)
         accepted = self.network.submit(msg, self._delay_rng, self.now)
-        if accepted is not None:
-            self._push(accepted.deliver_time, _DELIVER, accepted)
+        if accepted:
+            push = self._push
+            for copy in accepted:
+                push(copy.deliver_time, _DELIVER, copy)
 
     def inject_message(self, dest: NodeRef, action: str, params: Dict[str, Any],
                        topic: Optional[str] = None, delay: Optional[float] = None) -> None:
@@ -143,6 +146,23 @@ class Simulator:
         self._push(msg.deliver_time, _DELIVER, msg)
 
     # ----------------------------------------------------------------- faults
+    def install_adversary(self, adversary) -> None:
+        """Install a link adversary on the network (see
+        :meth:`repro.sim.network.Network.install_adversary`).
+
+        The adversary's coin flips happen inside ``Network.submit``/``pop``,
+        which run in event order — identical for both schedulers — so a seeded
+        adversary preserves the heap/wheel parity guarantee.
+        """
+        self.network.install_adversary(adversary)
+
+    def adversary_rng(self) -> random.Random:
+        """The RNG stream reserved for a link adversary, derived from the
+        master seed (so adversarial runs stay reproducible per seed).  The
+        stream is created once per simulator: repeated calls return the same
+        advancing RNG, never a restarted copy of it."""
+        return self._adversary_rng
+
     def crash_node(self, node_id: NodeRef, at: Optional[float] = None) -> None:
         """Crash ``node_id`` now or at a future time ``at``."""
         if at is None or at <= self.now:

@@ -68,13 +68,22 @@ class FailureDetector:
         self._crash_times.setdefault(node_id, time)
 
     def suspects(self, node_id: int, now: Optional[float] = None) -> bool:
-        """True once the detector has (eventually-correctly) detected the crash."""
+        """True once the detector has (eventually-correctly) detected the crash.
+
+        ``now`` may be omitted only when the detector is attached to a
+        simulator (the normal case — the supervisor queries it mid-run).  A
+        detached detector cannot know the current time, so omitting ``now``
+        raises instead of silently guessing.
+        """
         crash_time = self._crash_times.get(node_id)
         if crash_time is None:
             return False
         if now is None:
             if self._sim is None:
-                return True
+                raise RuntimeError(
+                    "FailureDetector.suspects() needs an explicit now= when the "
+                    "detector is not attached to a simulator (attach() was never "
+                    "called); a detached detector has no clock to consult")
             now = self._sim.now
         return now >= crash_time + self.detection_lag
 

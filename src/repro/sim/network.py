@@ -7,14 +7,20 @@ channels, assigns delivery delays, keeps per-action and per-node accounting
 (used by the supervisor-load and congestion experiments), and drops messages
 addressed to crashed nodes (the paper's Section 3.3 failure model: a crashed
 node's address ceases to exist, so messages to it "do not invoke any action").
+
+Beyond the paper's model the network accepts an optional **link adversary**
+(:meth:`Network.install_adversary`): a seeded policy object that may drop,
+duplicate or delay-spike messages and sever links along named partitions.
+The scenario subsystem (:mod:`repro.scenarios`) uses it to stress
+self-stabilization under conditions the paper's channel never exhibits.
 """
 
 from __future__ import annotations
 
 import itertools
 from collections import Counter, defaultdict
-from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 
 @dataclass
@@ -63,6 +69,13 @@ class Message:
         )
 
 
+#: Drop-accounting reasons used by :meth:`ChannelStats.record_drop`.
+DROP_TO_CRASHED = "to_crashed"      #: destination address ceased to exist
+DROP_ADVERSARY_LOSS = "adversary_loss"  #: probabilistic link-level loss
+DROP_PARTITION = "partition"        #: link severed by an active partition
+DROP_REASONS = (DROP_TO_CRASHED, DROP_ADVERSARY_LOSS, DROP_PARTITION)
+
+
 class ChannelStats:
     """Aggregated message statistics, queryable per node and per action.
 
@@ -76,16 +89,27 @@ class ChannelStats:
 
     The view properties are read-only and return fresh :class:`Counter`
     copies: mutating a returned counter never corrupts the statistics.
+
+    Drops are accounted **per reason** (see :data:`DROP_REASONS`): a message
+    addressed to a crashed node is a different animal than one swallowed by a
+    :class:`~repro.scenarios.adversary.LinkAdversary` (probabilistic loss) or
+    severed by an active partition, and lossy-scenario reports need to tell
+    them apart.  Like sends and deliveries, drop counts flow through
+    :meth:`snapshot` / :meth:`delta`, so differential per-phase accounting
+    sees them.
     """
 
-    __slots__ = ("_sent", "_received", "dropped_to_crashed", "total_sent",
+    __slots__ = ("_sent", "_received", "_drops", "duplicated", "total_sent",
                  "total_delivered", "_derived")
 
     def __init__(self) -> None:
         #: raw (sender-or-None, action) -> count and (dest, action) -> count
         self._sent: Dict[tuple, int] = {}
         self._received: Dict[tuple, int] = {}
-        self.dropped_to_crashed = 0
+        #: drop reason -> count (see DROP_REASONS)
+        self._drops: Dict[str, int] = {}
+        #: extra copies created by adversarial duplication
+        self.duplicated = 0
         self.total_sent = 0
         self.total_delivered = 0
         self._derived: Dict[str, Counter] = {}
@@ -107,8 +131,32 @@ class ChannelStats:
         if self._derived:
             self._derived = {}
 
-    def record_drop(self) -> None:
-        self.dropped_to_crashed += 1
+    def record_drop(self, reason: str = DROP_TO_CRASHED) -> None:
+        """Account one dropped message under ``reason`` (a :data:`DROP_REASONS`
+        name)."""
+        if reason not in DROP_REASONS:
+            raise ValueError(
+                f"unknown drop reason {reason!r}; expected one of {DROP_REASONS}")
+        self._drops[reason] = self._drops.get(reason, 0) + 1
+
+    def record_duplicate(self, copies: int = 1) -> None:
+        """Account ``copies`` extra adversarial duplicates of a sent message."""
+        self.duplicated += copies
+
+    # ------------------------------------------------------------------- drops
+    @property
+    def dropped_to_crashed(self) -> int:
+        """Messages dropped because their destination had crashed."""
+        return self._drops.get(DROP_TO_CRASHED, 0)
+
+    @property
+    def drops_by_reason(self) -> Dict[str, int]:
+        """Drop reason -> count (a copy; every known reason is present)."""
+        return {reason: self._drops.get(reason, 0) for reason in DROP_REASONS}
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self._drops.values())
 
     # ---------------------------------------------------------- derived views
     def _view(self, name: str) -> Counter:
@@ -182,7 +230,8 @@ class ChannelStats:
         clone = ChannelStats()
         clone._sent = dict(self._sent)
         clone._received = dict(self._received)
-        clone.dropped_to_crashed = self.dropped_to_crashed
+        clone._drops = dict(self._drops)
+        clone.duplicated = self.duplicated
         clone.total_sent = self.total_sent
         clone.total_delivered = self.total_delivered
         return clone
@@ -192,13 +241,14 @@ class ChannelStats:
         diff = ChannelStats()
         diff._sent = _dict_delta(self._sent, baseline._sent)
         diff._received = _dict_delta(self._received, baseline._received)
-        diff.dropped_to_crashed = self.dropped_to_crashed - baseline.dropped_to_crashed
+        diff._drops = _dict_delta(self._drops, baseline._drops)
+        diff.duplicated = self.duplicated - baseline.duplicated
         diff.total_sent = self.total_sent - baseline.total_sent
         diff.total_delivered = self.total_delivered - baseline.total_delivered
         return diff
 
 
-def _dict_delta(current: Dict[tuple, int], baseline: Dict[tuple, int]) -> Dict[tuple, int]:
+def _dict_delta(current: Dict, baseline: Dict) -> Dict:
     """Key-wise ``current - baseline``, keeping only positive entries (matching
     the semantics of ``Counter`` subtraction on monotonically growing counts)."""
     out = {}
@@ -227,8 +277,24 @@ class Network:
         self._msg_counter = itertools.count()
         self.stats = ChannelStats()
         self._crashed: set[int] = set()
+        #: optional link-level adversary (duck-typed; see
+        #: :class:`repro.scenarios.adversary.LinkAdversary`).  ``None`` keeps
+        #: the paper's fault model: no loss, no duplication, finite delays.
+        self.adversary = None
 
     # ------------------------------------------------------------------ admin
+    def install_adversary(self, adversary) -> None:
+        """Install (or with ``None``, remove) a link adversary.
+
+        The adversary is consulted on every :meth:`submit` (loss, duplication,
+        delay spikes, send-time partition checks) and every :meth:`pop`
+        (delivery-time partition checks for messages already in flight when a
+        partition started).  It must expose ``on_submit(msg, now)`` returning
+        a :class:`~repro.scenarios.adversary.LinkVerdict` and
+        ``on_deliver(msg, now)`` returning a drop-reason string or ``None``.
+        """
+        self.adversary = adversary
+
     def mark_crashed(self, node_id: int) -> None:
         """Record ``node_id`` as crashed; its channel is discarded and future
         messages to it are dropped silently."""
@@ -239,23 +305,46 @@ class Network:
         return node_id in self._crashed
 
     # ------------------------------------------------------------------ sends
-    def submit(self, msg: Message, rng, now: float) -> Optional[Message]:
+    def submit(self, msg: Message, rng, now: float) -> Sequence[Message]:
         """Accept ``msg`` into the destination channel.
 
-        Returns the message (with delay and id assigned) if a delivery event
-        should be scheduled, or ``None`` if the destination is crashed and the
-        message was dropped.
+        Returns the sequence of accepted copies (with delays and ids
+        assigned), each of which needs a delivery event scheduled.  It is
+        empty if the destination is crashed or the installed adversary
+        dropped the message; it has more than one element when the adversary
+        duplicated it.  Without an adversary the result is always zero or one
+        message — the paper's channel model — served by an allocation-light
+        fast path (this is the per-message hot loop).
         """
         msg.msg_id = next(self._msg_counter)
         msg.send_time = now
         self.stats.record_send(msg)
         if msg.dest in self._crashed:
-            self.stats.record_drop()
-            return None
-        delay = rng.uniform(self.min_delay, self.max_delay)
-        msg.deliver_time = now + delay
-        self._channels[msg.dest][msg.msg_id] = msg
-        return msg
+            self.stats.record_drop(DROP_TO_CRASHED)
+            return ()
+        if self.adversary is None:
+            msg.deliver_time = now + rng.uniform(self.min_delay, self.max_delay)
+            self._channels[msg.dest][msg.msg_id] = msg
+            return (msg,)
+        return self._submit_adversarial(msg, rng, now)
+
+    def _submit_adversarial(self, msg: Message, rng, now: float) -> Sequence[Message]:
+        """Slow path of :meth:`submit`: consult the adversary for loss,
+        duplication and delay scaling."""
+        verdict = self.adversary.on_submit(msg, now)
+        if verdict.drop_reason is not None:
+            self.stats.record_drop(verdict.drop_reason)
+            return ()
+        if verdict.duplicates:
+            self.stats.record_duplicate(verdict.duplicates)
+        accepted: List[Message] = []
+        for i in range(1 + verdict.duplicates):
+            copy = msg if i == 0 else replace(msg, msg_id=next(self._msg_counter))
+            delay = rng.uniform(self.min_delay, self.max_delay) * verdict.delay_factor
+            copy.deliver_time = now + delay
+            self._channels[copy.dest][copy.msg_id] = copy
+            accepted.append(copy)
+        return accepted
 
     def inject_initial(self, msg: Message) -> Message:
         """Place a (possibly corrupted) message into a channel without
@@ -281,6 +370,14 @@ class Network:
         pending = channel.pop(msg.msg_id, None)
         if pending is None:
             return None
+        adversary = self.adversary
+        if adversary is not None:
+            # Delivery-time check: a message can be in flight when a partition
+            # starts; it must not cross the cut while the partition is active.
+            reason = adversary.on_deliver(pending, pending.deliver_time)
+            if reason is not None:
+                self.stats.record_drop(reason)
+                return None
         self.stats.record_delivery(pending)
         return pending
 

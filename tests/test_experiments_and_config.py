@@ -122,5 +122,5 @@ class TestExperimentsSmall:
     def test_registry_contains_all_experiments(self):
         assert set(exp.ALL_EXPERIMENTS) == {
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
-            "A1", "A2", "A3",
+            "E12", "A1", "A2", "A3",
         }

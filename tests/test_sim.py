@@ -185,6 +185,30 @@ class TestTracerAndFailureDetector:
         assert len(tracer.events) == 2
         assert tracer.counters["k"] == 5
 
+    def test_tracer_event_cap_keeps_earliest_events(self):
+        """Truncation at max_events keeps the first events, drops the rest,
+        and never corrupts counters, marks or series."""
+        tracer = Tracer(max_events=3)
+        for i in range(10):
+            tracer.record(float(i), "k", node=i)
+            tracer.sample("s", float(i), float(i))
+        assert [e.time for e in tracer.events] == [0.0, 1.0, 2.0]
+        assert [e.node for e in tracer.events] == [0, 1, 2]
+        assert tracer.counters["k"] == 10
+        assert len(tracer.series["s"]) == 10
+        assert tracer.summary()["num_events"] == 3
+
+    def test_tracer_keep_events_false_counts_without_storing(self):
+        tracer = Tracer(keep_events=False)
+        for i in range(5):
+            tracer.record(float(i), "k", node=i)
+        assert tracer.events == []
+        assert tracer.events_of("k") == []
+        assert tracer.counters["k"] == 5
+        summary = tracer.summary()
+        assert summary["num_events"] == 0
+        assert summary["counters"]["k"] == 5
+
     def test_failure_detector_lag(self):
         detector = FailureDetector(detection_lag=5.0)
         detector.notify_crash(1, time=10.0)
@@ -196,6 +220,47 @@ class TestTracerAndFailureDetector:
     def test_failure_detector_validation(self):
         with pytest.raises(ValueError):
             FailureDetector(detection_lag=-1)
+
+    def test_detached_detector_requires_explicit_now(self):
+        """A detector without a simulator has no clock: suspects() must raise
+        rather than silently claim the crash is already detected."""
+        detector = FailureDetector(detection_lag=5.0)
+        detector.notify_crash(1, time=10.0)
+        with pytest.raises(RuntimeError, match="now"):
+            detector.suspects(1)
+        # Unknown nodes never raise: there is nothing to time-compare.
+        assert not detector.suspects(2)
+        # Attached detectors keep using the simulator clock.
+        sim = Simulator(SimulatorConfig(seed=1, detection_lag=2.0))
+        sim.add_node(EchoNode(7), schedule_timeout=False)
+        sim.crash_node(7)
+        assert not sim.failure_detector.suspects(7)  # lag not yet elapsed
+        sim.run_for(3.0)
+        assert sim.failure_detector.suspects(7)
+
+
+class TestDropAccounting:
+    def test_drop_reasons_flow_through_snapshot_and_delta(self):
+        stats = ChannelStats()
+        stats.record_drop()  # defaults to the crashed-destination reason
+        stats.record_drop("adversary_loss")
+        stats.record_duplicate(2)
+        snap = stats.snapshot()
+        stats.record_drop("adversary_loss")
+        stats.record_drop("partition")
+        delta = stats.delta(snap)
+        assert stats.dropped_to_crashed == 1
+        assert stats.total_dropped == 4
+        assert stats.drops_by_reason == {
+            "to_crashed": 1, "adversary_loss": 2, "partition": 1}
+        assert snap.drops_by_reason["adversary_loss"] == 1
+        assert delta.drops_by_reason == {
+            "to_crashed": 0, "adversary_loss": 1, "partition": 1}
+        assert delta.duplicated == 0 and snap.duplicated == 2
+
+    def test_unknown_drop_reason_rejected(self):
+        with pytest.raises(ValueError, match="drop reason"):
+            ChannelStats().record_drop("gremlins")
 
     def test_crash_schedule(self):
         schedule = CrashSchedule()
