@@ -13,25 +13,27 @@ Run with::
 
 from __future__ import annotations
 
-from repro import SupervisedPubSub
+from repro import PubSub
 from repro.workloads.churn import ChurnEvent, ChurnSchedule, apply_churn
 from repro.workloads.publications import publish_stream
 
 
 def main() -> None:
-    system = SupervisedPubSub(seed=13)
+    system = PubSub.builder().seed(13).build()
     peers = [system.add_subscriber() for _ in range(12)]
     assert system.run_until_legitimate(max_rounds=500)
     print(f"Initial overlay stable with {len(system.members())} subscribers.")
 
     # Membership churn: 4 joins, 2 voluntary leaves, 2 unannounced crashes.
+    # One crash targets a specific peer by its stable node id; the other
+    # events pick random live members when they fire.
     schedule = ChurnSchedule()
     for t in (5, 15, 25, 35):
         schedule.add(ChurnEvent(time=float(t), kind="join"))
     for t in (10, 30):
         schedule.add(ChurnEvent(time=float(t), kind="leave"))
-    for t in (20, 40):
-        schedule.add(ChurnEvent(time=float(t), kind="crash"))
+    schedule.add(ChurnEvent(time=20.0, kind="crash", target=peers[3].node_id))
+    schedule.add(ChurnEvent(time=40.0, kind="crash"))
     apply_churn(system, schedule, seed=3)
 
     # A stream of publications spread over the same window.

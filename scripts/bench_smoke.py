@@ -12,8 +12,7 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.cluster import build_stable_sharded_system
-from repro.core.system import SupervisedPubSub
+from repro.api import SystemSpec, build_stable, build_system
 
 TOPICS = [f"topic-{i}" for i in range(4)]
 SUBSCRIBERS_PER_TOPIC = 4
@@ -25,18 +24,19 @@ WALL_BUDGET_SECONDS = 60.0
 def main() -> int:
     start = time.perf_counter()
 
-    baseline = SupervisedPubSub(seed=11)
+    baseline = build_system(SystemSpec(seed=11))
     for topic in TOPICS:
         for _ in range(SUBSCRIBERS_PER_TOPIC):
             baseline.add_subscriber(topic)
-    if not all(baseline.run_until_legitimate(t, max_rounds=2_000) for t in TOPICS):
+    if not all(baseline.run_until_legitimate(t) for t in TOPICS):
         print("FAIL: single-supervisor baseline did not stabilize")
         return 1
     baseline.run_rounds(ROUNDS)
     baseline_max = max(baseline.supervisor_request_counts().values())
 
-    cluster = build_stable_sharded_system(TOPICS, SUBSCRIBERS_PER_TOPIC,
-                                          shards=SHARDS, seed=11)
+    cluster, _ = build_stable(
+        SystemSpec(topology="sharded", shards=SHARDS, seed=11),
+        topics=TOPICS, subscribers_per_topic=SUBSCRIBERS_PER_TOPIC)
     cluster.run_rounds(ROUNDS)
     counts = cluster.supervisor_request_counts()
     hotspot = max(counts.values())

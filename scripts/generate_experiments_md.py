@@ -182,7 +182,7 @@ def main(out_path: str = "EXPERIMENTS.md") -> None:
         for description, holds in result.claims.items():
             parts.append(f"- [{'x' if holds else ' '}] {description}")
         parts.append(f"\n*Parameters:* `{result.metadata}`\n")
-        print(f"{key}: done ({result.metadata.get('wall_seconds', '?')} s), "
+        print(f"{key}: done ({result.wall_seconds} s), "
               f"claims hold: {result.all_claims_hold}")
     Path(out_path).write_text("\n".join(parts), encoding="utf-8")
     print(f"wrote {out_path}")

@@ -20,12 +20,17 @@ Strothmann, *Self-Stabilizing Supervised Publish-Subscribe Systems* (2018):
   conditions (loss, duplication, delay spikes, partitions with scheduled
   heals) and workloads (churn storms, crash waves, publication storms,
   supervisor failover) into declarative, seed-deterministic stress scenarios
-  runnable against either facade (``python -m repro.scenarios``).
+  runnable against either facade (``python -m repro.scenarios``),
+* a **unified deployment API** (:mod:`repro.api`): a declarative, frozen,
+  JSON-round-trippable :class:`~repro.api.spec.SystemSpec`, a fluent
+  ``PubSub.builder()``, typed lifecycle hooks (``system.hooks``) and one
+  :class:`~repro.api.report.RunReport` result object — the single front door
+  every experiment, scenario, benchmark and example goes through.
 
 Quickstart
 ----------
->>> from repro import SupervisedPubSub
->>> system = SupervisedPubSub(seed=1)
+>>> from repro import PubSub
+>>> system = PubSub.builder().seed(1).build()
 >>> peers = [system.add_subscriber() for _ in range(16)]
 >>> system.run_until_legitimate()
 True
@@ -53,8 +58,17 @@ from repro.core import (
 from repro.cluster import ConsistentHashRing, ShardedPubSub, build_stable_sharded_system
 from repro.pubsub import PatriciaTrie, Publication
 from repro.sim import Simulator, SimulatorConfig
+from repro.api import (
+    HookRegistry,
+    PubSub,
+    RunReport,
+    SystemBuilder,
+    SystemSpec,
+    build_stable,
+    build_system,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ProtocolParams",
@@ -77,5 +91,12 @@ __all__ = [
     "ConsistentHashRing",
     "ShardedPubSub",
     "build_stable_sharded_system",
+    "SystemSpec",
+    "PubSub",
+    "SystemBuilder",
+    "build_system",
+    "build_stable",
+    "HookRegistry",
+    "RunReport",
     "__version__",
 ]

@@ -1,0 +1,12 @@
+"""Typed observer hooks — part of the unified API surface.
+
+The implementation lives in :mod:`repro.core.hooks` (the facades sit above
+it and instantiate one registry per system at ``system.hooks``); this module
+re-exports it so API users import everything from one place::
+
+    from repro.api import HookRegistry
+"""
+
+from repro.core.hooks import HOOK_EVENTS, HookRegistry
+
+__all__ = ["HOOK_EVENTS", "HookRegistry"]

@@ -1,0 +1,136 @@
+"""The one result object every driver produces.
+
+:class:`RunReport` subsumes the two result types that grew independently —
+the experiment harness's ``ExperimentResult`` (a table + claim checklist) and
+the scenario engine's ``ScenarioReport`` (per-phase measurements +
+invariants).  A report carries:
+
+* a primary **table** (``headers`` + ``rows``) — what the benchmarks print;
+* **claims**: description → pass/fail, the asserted reproduction surface;
+* **message-stat snapshots**: labelled
+  :meth:`~repro.sim.network.ChannelStats.to_summary_dict` captures;
+* free-form **metadata** and the run's **wall time**;
+* for scenario runs, the full embedded scenario dict (lossless — the
+  canonical per-phase JSON is reachable from the unified report).
+
+``to_json`` is canonical (sorted keys, compact separators), so reports are
+byte-comparable across runs whenever their content is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class RunReport:
+    """Unified result of one experiment, scenario or benchmark run."""
+
+    name: str
+    title: str = ""
+    headers: List[str] = field(default_factory=list)
+    rows: List[Sequence] = field(default_factory=list)
+    claims: Dict[str, bool] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+    #: label -> ChannelStats summary dict (see ``record_message_stats``)
+    message_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    wall_seconds: Optional[float] = None
+    #: full ScenarioReport dict when this report wraps a scenario run
+    scenario: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------ construction
+    def add_row(self, *values) -> None:
+        self.rows.append(tuple(values))
+
+    def claim(self, description: str, holds: bool) -> None:
+        self.claims[description] = bool(holds)
+
+    def record_message_stats(self, label: str, system) -> None:
+        """Snapshot ``system``'s message statistics under ``label`` (accepts a
+        facade or a :class:`~repro.sim.network.ChannelStats`)."""
+        stats = system.message_stats() if hasattr(system, "message_stats") else system
+        self.message_stats[label] = stats.to_summary_dict()
+
+    # --------------------------------------------------------------- verdicts
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(self.claims.values()) if self.claims else True
+
+    @property
+    def passed(self) -> bool:
+        """Alias of :attr:`all_claims_hold` (scenario-report vocabulary)."""
+        return self.all_claims_hold
+
+    @property
+    def failed_claims(self) -> List[str]:
+        return [c for c, ok in self.claims.items() if not ok]
+
+    # The experiment harness's historical field name; kept as a property so
+    # rendering and benchmark assertions work identically on both vocabularies.
+    @property
+    def experiment_id(self) -> str:
+        return self.name
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "claims": dict(sorted(self.claims.items())),
+            "metadata": dict(self.metadata),
+            "message_stats": {label: dict(stats)
+                              for label, stats in sorted(self.message_stats.items())},
+            "wall_seconds": self.wall_seconds,
+            "scenario": self.scenario,
+            "passed": self.passed,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        if indent is not None:
+            return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    # ------------------------------------------------------------- converters
+    @classmethod
+    def from_scenario(cls, report) -> "RunReport":
+        """Wrap a :class:`~repro.scenarios.runner.ScenarioReport` losslessly.
+
+        The primary table mirrors the CLI's per-phase rendering, the claims
+        are the scenario's flattened invariants, and the full scenario dict
+        (whose canonical JSON stays byte-identical per seed) is embedded
+        under :attr:`scenario`.
+        """
+        run = cls(
+            name=report.scenario,
+            title=f"scenario {report.scenario!r} "
+                  f"(facade={report.facade}, shards={report.shards}, "
+                  f"n={report.subscribers_initial}, seed={report.seed})",
+            headers=["phase", "disruptions", "relegit rounds", "pubs ok/issued",
+                     "sent", "drops", "hotspot reqs", "verdict"],
+            metadata={
+                "facade": report.facade,
+                "shards": report.shards,
+                "seed": report.seed,
+                "subscribers_initial": report.subscribers_initial,
+                "topics": list(report.topics),
+                "stabilize_rounds": report.stabilize_rounds,
+            },
+            scenario=report.to_dict(),
+        )
+        for phase in report.phases:
+            drops = ", ".join(f"{r}={c}" for r, c in sorted(phase.drops.items()))
+            run.add_row(
+                phase.name, " ".join(phase.disruptions),
+                phase.relegitimize_rounds,
+                f"{phase.publications_surviving}/{phase.publications_issued}"
+                if phase.delivery_checked else "-",
+                phase.messages_sent, drops or "-",
+                phase.supervisor_hotspot_requests,
+                "PASS" if phase.passed else "FAIL")
+        for description, holds in report.invariants().items():
+            run.claim(description, holds)
+        return run

@@ -133,15 +133,16 @@ class ShardedPubSub(PubSubFacadeBase):
         self.ring.remove_shard(shard_id)
         orphaned = sorted(t for t, s in self._topic_shard.items() if s == shard_id)
         self._shard_topic_load.pop(shard_id, None)
-        if not rebalance:
+        if rebalance:
+            for topic in orphaned:
+                new_shard = self.ring.assign_balanced(topic, self._shard_topic_load)
+                self._topic_shard[topic] = new_shard
+                self._shard_topic_load[new_shard] += 1
+                self._reannounce_members(topic)
+        else:
             for topic in orphaned:
                 del self._topic_shard[topic]
-            return orphaned
-        for topic in orphaned:
-            new_shard = self.ring.assign_balanced(topic, self._shard_topic_load)
-            self._topic_shard[topic] = new_shard
-            self._shard_topic_load[new_shard] += 1
-            self._reannounce_members(topic)
+        self.hooks.emit_supervisor_crash(shard_id, orphaned)
         return orphaned
 
     def _reannounce_members(self, topic: str) -> None:
@@ -182,19 +183,23 @@ def build_stable_sharded_system(topics: List[str], subscribers_per_topic: int,
                                 params: Optional[ProtocolParams] = None,
                                 sim_config: Optional[SimulatorConfig] = None,
                                 max_rounds: int = 2_000) -> "ShardedPubSub":
-    """Build a sharded cluster with the given topics populated and stabilized.
+    """Deprecated: use :func:`repro.api.builder.build_stable` with a sharded
+    :class:`~repro.api.spec.SystemSpec`.
 
-    Mirrors :func:`repro.core.system.build_stable_system` for the cluster
-    facade; raises ``RuntimeError`` if any topic fails to stabilize.
+    Thin shim kept for old call sites; delegates to the unified bootstrap
+    helper (same population and stabilization order, so results are
+    seed-identical) and emits a :class:`DeprecationWarning`.
     """
-    cluster = ShardedPubSub(shards=shards, seed=seed, params=params,
-                            sim_config=sim_config)
-    for topic in topics:
-        for _ in range(subscribers_per_topic):
-            cluster.add_subscriber(topic)
-    for topic in topics:
-        if not cluster.run_until_legitimate(topic, max_rounds=max_rounds):
-            raise RuntimeError(
-                f"sharded system did not stabilize topic {topic!r} within "
-                f"{max_rounds} rounds")
+    from repro.api.builder import build_stable, deprecated_build_stable_shim
+    from repro.api.spec import SystemSpec
+
+    deprecated_build_stable_shim(
+        "build_stable_sharded_system",
+        "build_stable(SystemSpec(topology='sharded', ...), topics=..., "
+        "subscribers_per_topic=...)")
+    spec = SystemSpec.from_legacy(seed=seed, params=params, sim_config=sim_config,
+                                  topology="sharded", shards=shards,
+                                  max_rounds=max_rounds)
+    cluster, _ = build_stable(spec, topics=topics,
+                              subscribers_per_topic=subscribers_per_topic)
     return cluster

@@ -11,6 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+#: Default budget (in timeout periods) for "run until legitimate/converged"
+#: drivers.  Shared by :class:`~repro.api.spec.SystemSpec`, the facade
+#: drivers and the scenario/experiment layers so the magic number is stated
+#: exactly once.
+DEFAULT_MAX_ROUNDS = 2_000
+
+#: Default predicate-evaluation cadence (in timeout periods) of the same
+#: drivers.
+DEFAULT_CHECK_EVERY_ROUNDS = 5
+
 
 @dataclass(frozen=True)
 class ProtocolParams:

@@ -24,7 +24,12 @@ from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core import messages as msg
-from repro.core.config import ProtocolParams
+from repro.core.config import (
+    DEFAULT_CHECK_EVERY_ROUNDS,
+    DEFAULT_MAX_ROUNDS,
+    ProtocolParams,
+)
+from repro.core.hooks import HookRegistry
 from repro.core.subscriber import Subscriber
 from repro.core.supervisor import Supervisor
 from repro.pubsub.publications import Publication
@@ -50,6 +55,11 @@ class PubSubFacadeBase:
         self.subscribers: Dict[NodeRef, Subscriber] = {}
         self.registry = TopicRegistry([self.params.default_topic])
         self._next_id = itertools.count(first_subscriber_id)
+        #: typed lifecycle hooks (see :mod:`repro.core.hooks`)
+        self.hooks = HookRegistry()
+        #: the :class:`~repro.api.spec.SystemSpec` this facade was built from,
+        #: when it came through :func:`repro.api.builder.build_system`
+        self.spec = None
 
     # ------------------------------------------------------- subclass contract
     def supervisor_of(self, topic: str) -> Supervisor:
@@ -87,6 +97,7 @@ class PubSubFacadeBase:
         topic = topic or self.params.default_topic
         subscriber.subscribe(topic)
         self.registry.subscribe(subscriber.node_id, topic)
+        self.hooks.emit_subscribe(subscriber.node_id, topic)
 
     def unsubscribe(self, subscriber: Subscriber | NodeRef, topic: Optional[str] = None) -> None:
         subscriber = self._resolve(subscriber)
@@ -126,30 +137,48 @@ class PubSubFacadeBase:
     def run_for(self, duration: float) -> None:
         self.sim.run_for(duration)
 
-    def run_until_legitimate(self, topic: Optional[str] = None, max_rounds: int = 2_000,
-                             check_every_rounds: int = 5) -> bool:
+    def run_until_legitimate(self, topic: Optional[str] = None,
+                             max_rounds: int = DEFAULT_MAX_ROUNDS,
+                             check_every_rounds: int = DEFAULT_CHECK_EVERY_ROUNDS,
+                             ) -> bool:
         """Run until the overlay for ``topic`` (default: every registered topic)
-        is in a legitimate state, or ``max_rounds`` timeout periods elapse."""
+        is in a legitimate state, or ``max_rounds`` timeout periods elapse.
+        On success the ``on_relegitimacy`` hook fires with the topics checked
+        and the rounds the drive took."""
         topics = [topic] if topic is not None else self.registry.topics()
         period = self.sim.config.timeout_period
+        start = self.sim.now
 
         def predicate() -> bool:
             return all(self.is_legitimate(t) for t in topics)
 
-        return self.sim.run_until(predicate,
-                                  check_every=check_every_rounds * period,
-                                  max_time=max_rounds * period)
+        ok = self.sim.run_until(predicate,
+                                check_every=check_every_rounds * period,
+                                max_time=max_rounds * period)
+        if ok:
+            self.hooks.emit_relegitimacy(topics, (self.sim.now - start) / period)
+        return ok
 
     def run_until_publications_converged(self, topic: Optional[str] = None,
                                          expected_keys: Optional[Set[str]] = None,
-                                         max_rounds: int = 2_000,
-                                         check_every_rounds: int = 5) -> bool:
+                                         max_rounds: int = DEFAULT_MAX_ROUNDS,
+                                         check_every_rounds: int = DEFAULT_CHECK_EVERY_ROUNDS,
+                                         ) -> bool:
+        """Run until every live member of ``topic`` stores every expected
+        publication, or ``max_rounds`` timeout periods elapse.  On success the
+        ``on_delivery`` hook fires with the topic, the expected keys and the
+        rounds the drive took."""
         topic = topic or self.params.default_topic
         period = self.sim.config.timeout_period
-        return self.sim.run_until(
+        start = self.sim.now
+        ok = self.sim.run_until(
             lambda: self.publications_converged(topic, expected_keys),
             check_every=check_every_rounds * period,
             max_time=max_rounds * period)
+        if ok:
+            self.hooks.emit_delivery(topic, expected_keys or (),
+                                     (self.sim.now - start) / period)
+        return ok
 
     # ------------------------------------------------------------- inspection
     def members(self, topic: Optional[str] = None) -> List[NodeRef]:

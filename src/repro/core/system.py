@@ -66,15 +66,17 @@ def build_stable_system(n: int, seed: int = 0, params: Optional[ProtocolParams] 
                         topic: Optional[str] = None, max_rounds: int = 2_000,
                         sim_config: Optional[SimulatorConfig] = None,
                         ) -> Tuple[SupervisedPubSub, List[Subscriber]]:
-    """Build a system with ``n`` subscribers and run it to a legitimate state.
+    """Deprecated: use :func:`repro.api.builder.build_stable` with a
+    :class:`~repro.api.spec.SystemSpec`.
 
-    Raises ``RuntimeError`` if the system does not stabilize within
-    ``max_rounds`` timeout periods (which would indicate a protocol bug — the
-    experiments rely on this helper).
+    Thin shim kept for old call sites; it delegates to the unified bootstrap
+    helper (same construction order, so results are seed-identical) and emits
+    a :class:`DeprecationWarning`.
     """
-    system = SupervisedPubSub(seed=seed, params=params, sim_config=sim_config)
-    topic = topic or system.params.default_topic
-    subscribers = [system.add_subscriber(topic) for _ in range(n)]
-    if not system.run_until_legitimate(topic, max_rounds=max_rounds):
-        raise RuntimeError(f"system with n={n} did not stabilize within {max_rounds} rounds")
-    return system, subscribers
+    from repro.api.builder import build_stable, deprecated_build_stable_shim
+    from repro.api.spec import SystemSpec
+
+    deprecated_build_stable_shim("build_stable_system", "build_stable(SystemSpec(...), n)")
+    spec = SystemSpec.from_legacy(seed=seed, params=params, sim_config=sim_config,
+                                  max_rounds=max_rounds)
+    return build_stable(spec, n, topic=topic)

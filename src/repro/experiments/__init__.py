@@ -1,14 +1,17 @@
 """Experiment harness reproducing every quantitative claim of the paper.
 
-Each experiment function in :mod:`repro.experiments.experiments` returns an
-:class:`~repro.experiments.runner.ExperimentResult` whose rows are printed by
-the corresponding benchmark in ``benchmarks/`` and recorded in
-``EXPERIMENTS.md``.  See DESIGN.md for the claim ↔ experiment ↔ module map.
+Each experiment function in :mod:`repro.experiments.experiments` returns a
+:class:`~repro.api.report.RunReport` (the unified API's single result
+object) whose rows are printed by the corresponding benchmark in
+``benchmarks/`` and recorded in ``EXPERIMENTS.md``.  See DESIGN.md for the
+claim ↔ experiment ↔ module map.  ``ExperimentResult`` survives as a
+deprecated alias of ``RunReport``.
 """
 
+from repro.api.report import RunReport
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.report import format_table, render_result
 from repro.experiments import experiments
 
-__all__ = ["ExperimentResult", "run_experiment", "format_table", "render_result",
-           "experiments"]
+__all__ = ["RunReport", "ExperimentResult", "run_experiment", "format_table",
+           "render_result", "experiments"]

@@ -1,16 +1,20 @@
-"""Experiment implementations E1–E10 and ablations A1–A3 (see DESIGN.md).
+"""Experiment implementations E1–E12 and ablations A1–A3 (see DESIGN.md).
 
-Every function returns an :class:`~repro.experiments.runner.ExperimentResult`
-containing the table the corresponding benchmark prints, plus explicit
-pass/fail flags for the paper claims the experiment reproduces.  Default
-parameters are sized so the whole suite runs in minutes on a laptop; all of
-them can be overridden for larger runs.
+Every function returns a :class:`~repro.api.report.RunReport` containing the
+table the corresponding benchmark prints, plus explicit pass/fail flags for
+the paper claims the experiment reproduces.  Default parameters are sized so
+the whole suite runs in minutes on a laptop; all of them can be overridden
+for larger runs.
+
+All systems are stood up through the unified API
+(:class:`~repro.api.spec.SystemSpec` + :func:`~repro.api.builder.build_system`
+/ :func:`~repro.api.builder.build_stable`); no experiment names a concrete
+facade class.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.convergence import edge_set_signature
 from repro.analysis.graph_metrics import (
@@ -19,25 +23,40 @@ from repro.analysis.graph_metrics import (
     position_balance,
     routing_congestion,
 )
+from repro.api.report import RunReport
+from repro.api.spec import SystemSpec
 from repro.baselines.broker import BrokerLoadModel, BrokerPubSub
 from repro.baselines.chord import ChordTopology
 from repro.baselines.skipgraph import SkipGraphTopology
 from repro.core.config import ProtocolParams
 from repro.core.labels import count_labels_of_length, max_level, r_float
 from repro.core.skip_ring import SkipRingTopology
-from repro.core.system import SupervisedPubSub, build_stable_system
-from repro.experiments.runner import ExperimentResult
 from repro.pubsub.flooding import ideal_flood_depth, plain_ring_flood_depth
-from repro.sim.engine import SimulatorConfig
 from repro.workloads.initial_states import AdversarialConfig, build_adversarial_system
 from repro.workloads.publications import generate_payloads, scatter_publications
 
 
+def _build_system(seed: int, params: Optional[ProtocolParams] = None,
+                  shards: Optional[int] = None):
+    """One-liner for the construction shape every experiment uses."""
+    from repro.api.builder import build_system
+    topology = "single" if shards is None else "sharded"
+    return build_system(SystemSpec(topology=topology, shards=shards or 1,
+                                   seed=seed, params=params))
+
+
+def _build_stable(n: int, seed: int,
+                  params: Optional[ProtocolParams] = None):
+    """Stable single-supervisor bootstrap via the unified API."""
+    from repro.api.builder import build_stable
+    return build_stable(SystemSpec(seed=seed, params=params), n)
+
+
 # --------------------------------------------------------------------------- E1
-def e1_topology(sizes: Sequence[int] = (16, 64, 256, 1024)) -> ExperimentResult:
+def e1_topology(sizes: Sequence[int] = (16, 64, 256, 1024)) -> RunReport:
     """Lemma 3 / Definition 2 / Figure 1: structure of the ideal SR(n)."""
-    result = ExperimentResult(
-        experiment_id="E1",
+    result = RunReport(
+        name="E1",
         title="Skip-ring structure: degree bounds, degree sum vs 4n-4, diameter",
         headers=["n", "max_deg", "bound 2⌈log n⌉", "avg_deg", "edges", "deg_sum",
                  "paper 4n-4", "diameter", "⌈log n⌉"],
@@ -88,18 +107,18 @@ def paper_expected_requests(n: int) -> float:
 
 
 def e2_supervisor_load(sizes: Sequence[int] = (16, 64, 256), rounds: int = 40,
-                       seed: int = 1) -> ExperimentResult:
+                       seed: int = 1) -> RunReport:
     """Theorem 5: constant expected configuration-request load per timeout
     interval in a legitimate state, independent of n."""
-    result = ExperimentResult(
-        experiment_id="E2",
+    result = RunReport(
+        name="E2",
         title="Supervisor maintenance load per timeout interval (Theorem 5)",
         headers=["n", "intervals", "requests", "requests/interval",
                  "E[x] exact counts", "E[x] paper's proof"],
     )
     measured: List[float] = []
     for n in sizes:
-        system, _ = build_stable_system(n, seed=seed)
+        system, _ = _build_stable(n, seed=seed)
         base_intervals = system.sim.completed_timeout_intervals()
         base_requests = system.supervisor_request_count()
         system.run_rounds(rounds)
@@ -124,19 +143,19 @@ def e2_supervisor_load(sizes: Sequence[int] = (16, 64, 256), rounds: int = 40,
 
 # --------------------------------------------------------------------------- E3
 def e3_join_leave(sizes: Sequence[int] = (16, 64), operations: int = 8,
-                  seed: int = 2) -> ExperimentResult:
+                  seed: int = 2) -> RunReport:
     """Theorem 7 + Section 4.1: constant supervisor overhead per subscribe /
     unsubscribe, and old subscribers are reconfigured only O(1) times while the
     system doubles."""
-    result = ExperimentResult(
-        experiment_id="E3",
+    result = RunReport(
+        name="E3",
         title="Subscribe/unsubscribe overhead and configuration churn (Theorem 7)",
         headers=["n", "ops", "supervisor msgs/op (op-triggered)",
                  "max cfg changes of old nodes while doubling", "mean cfg changes"],
     )
     per_op_by_n: Dict[int, float] = {}
     for n in sizes:
-        system, subscribers = build_stable_system(n, seed=seed)
+        system, subscribers = _build_stable(n, seed=seed)
         topic = system.params.default_topic
 
         # --- overhead per operation: messages sent while handling the
@@ -157,7 +176,7 @@ def e3_join_leave(sizes: Sequence[int] = (16, 64), operations: int = 8,
         per_op_by_n[n] = per_op
 
         # --- configuration churn of pre-existing subscribers while n doubles.
-        system2, old_subscribers = build_stable_system(n, seed=seed + 17)
+        system2, old_subscribers = _build_stable(n, seed=seed + 17)
         for sub in old_subscribers:
             view = sub.view(topic, create=False)
             if view is not None:
@@ -187,10 +206,10 @@ def e3_join_leave(sizes: Sequence[int] = (16, 64), operations: int = 8,
 # --------------------------------------------------------------------------- E4
 def e4_convergence(sizes: Sequence[int] = (8, 16, 32), seeds: Sequence[int] = (0, 1, 2),
                    database_mode: str = "corrupted", components: int = 2,
-                   max_rounds: int = 1_500) -> ExperimentResult:
+                   max_rounds: int = 1_500) -> RunReport:
     """Theorem 8: convergence from adversarial weakly connected initial states."""
-    result = ExperimentResult(
-        experiment_id="E4",
+    result = RunReport(
+        name="E4",
         title="Convergence time from adversarial initial states (Theorem 8)",
         headers=["n", "trials", "converged", "mean rounds", "max rounds"],
     )
@@ -217,14 +236,14 @@ def e4_convergence(sizes: Sequence[int] = (8, 16, 32), seeds: Sequence[int] = (0
 
 # --------------------------------------------------------------------------- E5
 def e5_closure(n: int = 32, observation_rounds: int = 150, check_every: int = 10,
-               seed: int = 3) -> ExperimentResult:
+               seed: int = 3) -> RunReport:
     """Theorem 13: once legitimate, the explicit edge set never changes."""
-    result = ExperimentResult(
-        experiment_id="E5",
+    result = RunReport(
+        name="E5",
         title="Closure: explicit topology is stable in a legitimate state (Theorem 13)",
         headers=["n", "checks", "distinct edge-set signatures", "still legitimate"],
     )
-    system, _ = build_stable_system(n, seed=seed)
+    system, _ = _build_stable(n, seed=seed)
     signatures = {edge_set_signature(system.explicit_edges())}
     checks = 1
     for _ in range(observation_rounds // check_every):
@@ -242,15 +261,15 @@ def e5_closure(n: int = 32, observation_rounds: int = 150, check_every: int = 10
 # --------------------------------------------------------------------------- E6
 def e6_publication_convergence(sizes: Sequence[int] = (8, 16, 32),
                                publication_count: int = 20, seed: int = 4,
-                               max_rounds: int = 1_000) -> ExperimentResult:
+                               max_rounds: int = 1_000) -> RunReport:
     """Theorems 17/23: anti-entropy spreads scattered publications to everyone."""
-    result = ExperimentResult(
-        experiment_id="E6",
+    result = RunReport(
+        name="E6",
         title="Publication convergence via Patricia-trie anti-entropy (Theorem 17)",
         headers=["n", "publications", "converged", "rounds to convergence"],
     )
     for n in sizes:
-        system, subscribers = build_stable_system(n, seed=seed)
+        system, subscribers = _build_stable(n, seed=seed)
         keys = scatter_publications(system, subscribers, publication_count, seed=seed)
         start = system.sim.now
         ok = system.run_until_publications_converged(expected_keys=keys,
@@ -264,10 +283,10 @@ def e6_publication_convergence(sizes: Sequence[int] = (8, 16, 32),
 
 # --------------------------------------------------------------------------- E7
 def e7_flooding(sizes: Sequence[int] = (16, 64, 256, 1024), simulated_n: int = 32,
-                seed: int = 5) -> ExperimentResult:
+                seed: int = 5) -> RunReport:
     """Section 4.3: flooding reaches every subscriber within O(log n) hops."""
-    result = ExperimentResult(
-        experiment_id="E7",
+    result = RunReport(
+        name="E7",
         title="Flood delivery depth: skip ring vs plain ring (Section 4.3)",
         headers=["n", "skip-ring depth", "⌈log n⌉", "plain-ring depth"],
     )
@@ -281,7 +300,7 @@ def e7_flooding(sizes: Sequence[int] = (16, 64, 256, 1024), simulated_n: int = 3
             result.claim(f"n={n}: flood depth < plain-ring depth", depth < plain)
 
     # Simulated check on a live system: measure actual hop counts.
-    system, subscribers = build_stable_system(simulated_n, seed=seed)
+    system, subscribers = _build_stable(simulated_n, seed=seed)
     publication = system.publish(subscribers[0], b"flood-probe")
     system.run_rounds(3 * max_level(simulated_n))
     delivered = system.all_subscribers_have(publication.key)
@@ -298,11 +317,11 @@ def e7_flooding(sizes: Sequence[int] = (16, 64, 256, 1024), simulated_n: int = 3
 
 # --------------------------------------------------------------------------- E8
 def e8_congestion(sizes: Sequence[int] = (64, 256), samples: int = 300,
-                  seed: int = 6) -> ExperimentResult:
+                  seed: int = 6) -> RunReport:
     """Section 1.3: placement balance and routing congestion vs Chord and
     skip graphs of the same size."""
-    result = ExperimentResult(
-        experiment_id="E8",
+    result = RunReport(
+        name="E8",
         title="Balance and congestion: skip ring vs Chord vs skip graph (Section 1.3)",
         headers=["n", "overlay", "avg_deg", "max_deg", "diameter", "max/mean load",
                  "placement max/min gap"],
@@ -345,16 +364,16 @@ def e8_congestion(sizes: Sequence[int] = (64, 256), samples: int = 300,
 
 # --------------------------------------------------------------------------- E9
 def e9_failures(n: int = 32, crash_fractions: Sequence[float] = (0.1, 0.25),
-                seed: int = 7, max_rounds: int = 1_500) -> ExperimentResult:
+                seed: int = 7, max_rounds: int = 1_500) -> RunReport:
     """Section 3.3: recovery from unannounced crashes with a single failure
     detector at the supervisor."""
-    result = ExperimentResult(
-        experiment_id="E9",
+    result = RunReport(
+        name="E9",
         title="Recovery from unannounced subscriber crashes (Section 3.3)",
         headers=["n", "crashed", "survivors", "reconverged", "rounds"],
     )
     for fraction in crash_fractions:
-        system, subscribers = build_stable_system(n, seed=seed)
+        system, subscribers = _build_stable(n, seed=seed)
         to_crash = subscribers[:: max(1, int(1 / fraction))][: max(1, int(n * fraction))]
         for victim in to_crash:
             system.crash(victim)
@@ -373,11 +392,11 @@ def e9_failures(n: int = 32, crash_fractions: Sequence[float] = (0.1, 0.25),
 # -------------------------------------------------------------------------- E10
 def e10_broker_comparison(n_subscribers: Sequence[int] = (32, 128),
                           publication_counts: Sequence[int] = (10, 100, 1000),
-                          maintenance_rounds: int = 100) -> ExperimentResult:
+                          maintenance_rounds: int = 100) -> RunReport:
     """Introduction / Section 1.3: broker load grows with the publication rate,
     supervisor load does not."""
-    result = ExperimentResult(
-        experiment_id="E10",
+    result = RunReport(
+        name="E10",
         title="Central broker vs supervisor message load (Introduction)",
         headers=["subscribers", "publications", "broker msgs", "supervisor msgs",
                  "broker/supervisor"],
@@ -414,22 +433,21 @@ def e10_broker_comparison(n_subscribers: Sequence[int] = (32, 128),
 # -------------------------------------------------------------------------- E11
 def e11_sharded_scaling(shard_counts: Sequence[int] = (1, 2, 4), topics: int = 8,
                         subscribers_per_topic: int = 6, rounds: int = 40,
-                        seed: int = 21) -> ExperimentResult:
+                        seed: int = 21) -> RunReport:
     """Beyond the paper: sharding topics across K supervisors divides the
     per-supervisor request load (the system's admitted bottleneck).
 
     The same workload — ``topics`` topics with ``subscribers_per_topic``
     subscribers each, stabilized and then run for ``rounds`` maintenance
-    rounds — is executed against the single-supervisor facade
-    (:class:`SupervisedPubSub`) and against :class:`ShardedPubSub` for each
-    shard count K.  The measured quantity is the number of
-    Subscribe/Unsubscribe/GetConfiguration messages each supervisor received
-    over the whole run; the hotspot is the maximum over supervisors.
+    rounds — is executed against the single-supervisor topology and against
+    the sharded topology for each shard count K (both built through
+    :class:`~repro.api.spec.SystemSpec`).  The measured quantity is the
+    number of Subscribe/Unsubscribe/GetConfiguration messages each
+    supervisor received over the whole run; the hotspot is the maximum over
+    supervisors.
     """
-    from repro.cluster import ShardedPubSub
-
-    result = ExperimentResult(
-        experiment_id="E11",
+    result = RunReport(
+        name="E11",
         title="Sharded supervisor cluster: per-supervisor request load vs K",
         headers=["facade", "K", "stabilized", "total reqs", "max/supervisor",
                  "mean/supervisor", "hotspot vs baseline"],
@@ -444,16 +462,19 @@ def e11_sharded_scaling(shard_counts: Sequence[int] = (1, 2, 4), topics: int = 8
         system.run_rounds(rounds)
         return ok, system.supervisor_request_counts()
 
-    baseline_ok, baseline_counts = populate_and_run(SupervisedPubSub(seed=seed))
+    baseline = _build_system(seed=seed)
+    baseline_ok, baseline_counts = populate_and_run(baseline)
     baseline_max = max(baseline_counts.values())
     baseline_mean = sum(baseline_counts.values()) / len(baseline_counts)
     result.add_row("single", 1, baseline_ok, sum(baseline_counts.values()),
                    baseline_max, round(baseline_mean, 1), 1.0)
     result.claim("single-supervisor baseline stabilizes all topics", baseline_ok)
+    result.record_message_stats("single", baseline)
 
     hotspots: List[int] = []
     for k in shard_counts:
-        ok, counts = populate_and_run(ShardedPubSub(shards=k, seed=seed))
+        cluster = _build_system(seed=seed, shards=k)
+        ok, counts = populate_and_run(cluster)
         hotspot = max(counts.values())
         mean = sum(counts.values()) / len(counts)
         ratio = hotspot / baseline_max
@@ -461,6 +482,7 @@ def e11_sharded_scaling(shard_counts: Sequence[int] = (1, 2, 4), topics: int = 8
         result.add_row("sharded", k, ok, sum(counts.values()), hotspot,
                        round(mean, 1), round(ratio, 3))
         result.claim(f"K={k}: all {topics} topics stabilize", ok)
+        result.record_message_stats(f"sharded-K{k}", cluster)
         if k == 1:
             result.claim("K=1 sharded facade matches single-supervisor load exactly",
                          counts == baseline_counts)
@@ -477,7 +499,7 @@ def e11_sharded_scaling(shard_counts: Sequence[int] = (1, 2, 4), topics: int = 8
 
 
 # -------------------------------------------------------------------------- E12
-def e12_adversarial_scenarios(seed: int = 5) -> ExperimentResult:
+def e12_adversarial_scenarios(seed: int = 5) -> RunReport:
     """Beyond the paper: declarative adversarial scenarios
     (:mod:`repro.scenarios`) — message loss, duplication, partitions with
     scheduled heals, churn storms, crash waves and supervisor failover.
@@ -493,8 +515,8 @@ def e12_adversarial_scenarios(seed: int = 5) -> ExperimentResult:
     from repro.scenarios import (PartitionSpec, PhaseSpec, ScenarioSpec,
                                  get_scenario, run_scenario)
 
-    result = ExperimentResult(
-        experiment_id="E12",
+    result = RunReport(
+        name="E12",
         title="Adversarial scenarios: loss, partitions, churn storms",
         headers=["scenario", "facade", "phase", "disruptions", "relegit rounds",
                  "pubs delivered/surviving", "adversary drops", "passed"],
@@ -563,11 +585,11 @@ def e12_adversarial_scenarios(seed: int = 5) -> ExperimentResult:
 
 # ------------------------------------------------------------------ ablations
 def a1_ablation_integration(n: int = 16, seeds: Sequence[int] = (0, 1),
-                            max_rounds: int = 1_500) -> ExperimentResult:
+                            max_rounds: int = 1_500) -> RunReport:
     """A1: integrate unknown GetConfiguration senders (paper prose) vs reply ⊥
     (pseudocode)."""
-    result = ExperimentResult(
-        experiment_id="A1",
+    result = RunReport(
+        name="A1",
         title="Ablation: integrating unknown configuration requesters",
         headers=["variant", "trials", "converged", "mean rounds"],
     )
@@ -590,10 +612,10 @@ def a1_ablation_integration(n: int = 16, seeds: Sequence[int] = (0, 1),
 
 
 def a2_ablation_minimal_request(n: int = 16, seeds: Sequence[int] = (0, 1),
-                                max_rounds: int = 800) -> ExperimentResult:
+                                max_rounds: int = 800) -> RunReport:
     """A2: effect of action (iv) (minimal-label probe) on convergence speed."""
-    result = ExperimentResult(
-        experiment_id="A2",
+    result = RunReport(
+        name="A2",
         title="Ablation: action (iv) minimal-label configuration requests",
         headers=["variant", "trials", "converged", "mean rounds (converged trials)"],
     )
@@ -621,17 +643,17 @@ def a2_ablation_minimal_request(n: int = 16, seeds: Sequence[int] = (0, 1),
 
 
 def a3_ablation_flooding(n: int = 32, publications: int = 5, seed: int = 9,
-                         max_rounds: int = 800) -> ExperimentResult:
+                         max_rounds: int = 800) -> RunReport:
     """A3: delivery latency of new publications with and without flooding."""
-    result = ExperimentResult(
-        experiment_id="A3",
+    result = RunReport(
+        name="A3",
         title="Ablation: flooding vs anti-entropy-only delivery latency",
         headers=["variant", "publications", "all delivered", "rounds to full delivery"],
     )
     latencies: Dict[str, float] = {}
     for label, flooding in (("flooding + anti-entropy", True), ("anti-entropy only", False)):
         params = ProtocolParams(enable_flooding=flooding)
-        system, subscribers = build_stable_system(n, seed=seed, params=params)
+        system, subscribers = _build_stable(n, seed=seed, params=params)
         keys = set()
         for i, payload in enumerate(generate_payloads(publications, seed=seed)):
             keys.add(system.publish(subscribers[i % len(subscribers)], payload).key)

@@ -1,10 +1,10 @@
-"""Plain-text table rendering for experiment results."""
+"""Plain-text table rendering for experiment results (RunReport)."""
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.experiments.runner import ExperimentResult
+from repro.api.report import RunReport
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
@@ -25,7 +25,7 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
     return "\n".join(out)
 
 
-def render_result(result: ExperimentResult) -> str:
+def render_result(result: RunReport) -> str:
     """Full text report of an experiment: title, table, claim checklist."""
     parts = [f"{result.experiment_id}: {result.title}", ""]
     parts.append(format_table(result.headers, result.rows))

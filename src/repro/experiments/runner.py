@@ -1,52 +1,49 @@
-"""Experiment result records and a tiny runner."""
+"""Experiment result records and a tiny runner.
+
+The result type of the experiment harness is
+:class:`~repro.api.report.RunReport` (the unified API's single result
+object).  :class:`ExperimentResult` remains as a thin deprecation shim so
+old call sites keep working — it *is* a ``RunReport`` under its historical
+constructor signature.
+"""
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
 from typing import Callable, Dict, List, Sequence
 
+from repro.api.report import RunReport
 
-@dataclass
-class ExperimentResult:
-    """A table of results produced by one experiment.
 
-    Attributes
-    ----------
-    experiment_id:
-        Identifier such as ``"E1"`` (see DESIGN.md).
-    title:
-        One-line description of what the experiment reproduces.
-    headers / rows:
-        The table content (rows are sequences matching ``headers``).
-    claims:
-        Paper claim → pass/fail map, filled by the experiment's own
-        verification of the claim (e.g. "average degree <= 4": True).
-    metadata:
-        Free-form extra data (parameters, seeds, wall time).
+class ExperimentResult(RunReport):
+    """Deprecated alias of :class:`~repro.api.report.RunReport`.
+
+    Kept so code written against the pre-unified-API harness keeps running;
+    constructing one emits a :class:`DeprecationWarning`.  ``experiment_id``
+    maps onto :attr:`RunReport.name`.
     """
 
-    experiment_id: str
-    title: str
-    headers: List[str]
-    rows: List[Sequence] = field(default_factory=list)
-    claims: Dict[str, bool] = field(default_factory=dict)
-    metadata: Dict[str, object] = field(default_factory=dict)
-
-    def add_row(self, *values) -> None:
-        self.rows.append(tuple(values))
-
-    def claim(self, description: str, holds: bool) -> None:
-        self.claims[description] = bool(holds)
-
-    @property
-    def all_claims_hold(self) -> bool:
-        return all(self.claims.values()) if self.claims else True
+    def __init__(self, experiment_id: str, title: str = "",
+                 headers: Sequence[str] = (),
+                 rows: List[Sequence] = None,
+                 claims: Dict[str, bool] = None,
+                 metadata: Dict[str, object] = None) -> None:
+        warnings.warn(
+            "ExperimentResult is deprecated; use repro.api.RunReport "
+            "(name=... instead of experiment_id=...)",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(name=experiment_id, title=title, headers=list(headers),
+                         rows=list(rows) if rows else [],
+                         claims=dict(claims) if claims else {},
+                         metadata=dict(metadata) if metadata else {})
 
 
-def run_experiment(fn: Callable[..., ExperimentResult], *args, **kwargs) -> ExperimentResult:
-    """Run an experiment function and stamp wall-clock duration metadata."""
+def run_experiment(fn: Callable[..., RunReport], *args, **kwargs) -> RunReport:
+    """Run an experiment function and stamp its wall-clock duration on the
+    report's first-class :attr:`~repro.api.report.RunReport.wall_seconds`."""
     start = time.perf_counter()
     result = fn(*args, **kwargs)
-    result.metadata.setdefault("wall_seconds", round(time.perf_counter() - start, 3))
+    if result.wall_seconds is None:
+        result.wall_seconds = round(time.perf_counter() - start, 3)
     return result

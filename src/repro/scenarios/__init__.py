@@ -8,8 +8,10 @@ stress harness:
   into :class:`repro.sim.network.Network`;
 * :mod:`repro.scenarios.spec` — plain-data scenario descriptions with a
   lossless JSON round-trip;
-* :mod:`repro.scenarios.runner` — drives a spec against either facade and
-  evaluates invariants into a deterministic :class:`ScenarioReport`;
+* :mod:`repro.scenarios.runner` — drives a spec against either facade (built
+  through the unified :mod:`repro.api` deployment path) and evaluates
+  invariants into a deterministic :class:`ScenarioReport`, viewable as a
+  unified :class:`~repro.api.report.RunReport` via ``to_run_report()``;
 * :mod:`repro.scenarios.library` — built-in scenarios (``flash-crowd``,
   ``rolling-partition``, ``lossy-network``, ...);
 * :mod:`repro.scenarios.cli` — ``python -m repro.scenarios`` /

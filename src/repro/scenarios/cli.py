@@ -34,33 +34,25 @@ def _list_scenarios() -> str:
 
 
 def render_report(report: ScenarioReport) -> str:
-    """Human-readable scenario report: header, per-phase table, invariants."""
-    lines = [f"scenario {report.scenario!r} (facade={report.facade}, "
-             f"shards={report.shards}, n={report.subscribers_initial}, "
-             f"seed={report.seed})",
+    """Human-readable scenario report: header, per-phase table, invariants.
+
+    Rendering goes through the unified :class:`~repro.api.report.RunReport`
+    view (:meth:`ScenarioReport.to_run_report`), so the CLI prints exactly
+    the table/claims any other driver of the run report would see.
+    """
+    run = report.to_run_report()
+    lines = [run.title,
              f"  initial stabilization: "
              f"{'ok' if report.stabilized else 'FAILED'} "
              f"({report.stabilize_rounds} rounds)", ""]
-    if report.phases:
-        rows = []
-        for phase in report.phases:
-            drops = ", ".join(f"{r}={c}" for r, c in sorted(phase.drops.items()))
-            rows.append((phase.name, " ".join(phase.disruptions),
-                         phase.relegitimize_rounds,
-                         f"{phase.publications_surviving}/{phase.publications_issued}"
-                         if phase.delivery_checked else "-",
-                         phase.messages_sent, drops or "-",
-                         phase.supervisor_hotspot_requests,
-                         "PASS" if phase.passed else "FAIL"))
-        lines.append(format_table(
-            ["phase", "disruptions", "relegit rounds", "pubs ok/issued",
-             "sent", "drops", "hotspot reqs", "verdict"], rows))
+    if run.rows:
+        lines.append(format_table(run.headers, run.rows))
     lines.append("")
     lines.append("Invariants:")
-    for name, holds in report.invariants().items():
+    for name, holds in run.claims.items():
         lines.append(f"  [{'PASS' if holds else 'FAIL'}] {name}")
     lines.append("")
-    lines.append(f"result: {'PASS' if report.passed else 'FAIL'}")
+    lines.append(f"result: {'PASS' if run.passed else 'FAIL'}")
     return "\n".join(lines)
 
 

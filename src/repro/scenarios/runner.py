@@ -2,8 +2,9 @@
 
 The runner owns the whole lifecycle of one scenario run:
 
-1. build the facade the spec asks for (single-supervisor or sharded) with a
-   seeded :class:`~repro.sim.engine.SimulatorConfig` on either scheduler;
+1. build the facade the spec asks for (single-supervisor or sharded) through
+   the unified deployment API (:meth:`ScenarioSpec.system_spec` →
+   :func:`repro.api.builder.build_system`) on either scheduler;
 2. populate and stabilize the initial membership;
 3. per phase — unleash the disruptions (crash waves, supervisor failover,
    partitions, churn, publication storms, adversary toggles), run the
@@ -28,12 +29,13 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.api.builder import build_system
+from repro.api.hooks import HookRegistry
+from repro.api.report import RunReport
 from repro.cluster.sharded import ShardedPubSub
 from repro.core.facade import PubSubFacadeBase
-from repro.core.system import SupervisedPubSub
 from repro.scenarios.adversary import LinkAdversary
 from repro.scenarios.spec import PhaseSpec, ScenarioSpec
-from repro.sim.engine import SimulatorConfig
 from repro.sim.rng import derive_rng
 
 
@@ -143,6 +145,12 @@ class ScenarioReport:
             return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
 
+    def to_run_report(self) -> RunReport:
+        """This report as a unified :class:`~repro.api.report.RunReport`
+        (per-phase table + flattened invariants as claims + the full scenario
+        dict embedded losslessly)."""
+        return RunReport.from_scenario(self)
+
 
 class ScenarioRunner:
     """Execute one :class:`ScenarioSpec` and produce a :class:`ScenarioReport`."""
@@ -158,15 +166,21 @@ class ScenarioRunner:
     LOAD_SLACK = 50.0
 
     def __init__(self, spec: ScenarioSpec, seed: int = 0,
-                 scheduler: str = "wheel") -> None:
+                 scheduler: str = "wheel",
+                 system: Optional[PubSubFacadeBase] = None,
+                 hooks: Optional[HookRegistry] = None) -> None:
         self.spec = spec
         self.seed = seed
-        config = SimulatorConfig(seed=seed, scheduler=scheduler)
-        if spec.facade == "sharded":
-            self.system: PubSubFacadeBase = ShardedPubSub(
-                shards=spec.shards, seed=seed, sim_config=config)
-        else:
-            self.system = SupervisedPubSub(seed=seed, sim_config=config)
+        # The facade comes from the unified deployment API: the scenario's
+        # SystemSpec names the topology, the builder picks the class.  An
+        # explicitly injected ``system`` overrides it (custom facades, and
+        # the parity tests that reconstruct systems by hand).
+        self.system: PubSubFacadeBase = system if system is not None \
+            else build_system(spec.system_spec(seed=seed, scheduler=scheduler))
+        if hooks is not None:
+            # Merge, don't replace: callbacks already registered on an
+            # injected system keep firing alongside the caller's.
+            self.system.hooks.merge(hooks)
         self.adversary = LinkAdversary(self.system.sim.adversary_rng())
         self.system.sim.install_adversary(self.adversary)
         #: topic -> keys published by the scenario so far
@@ -195,6 +209,11 @@ class ScenarioRunner:
         for index, phase in enumerate(spec.phases):
             report.phases.append(self._run_phase(index, phase))
         return report
+
+    def run_report(self) -> RunReport:
+        """Run the scenario and return the unified
+        :class:`~repro.api.report.RunReport` view of its result."""
+        return self.run().to_run_report()
 
     # ----------------------------------------------------------------- phases
     def _live_members(self) -> List[int]:
@@ -265,6 +284,7 @@ class ScenarioRunner:
 
         self._check_supervisor_load(phase_report, baseline_requests,
                                     membership_ops)
+        self.system.hooks.emit_phase(phase.name, phase_report)
         return phase_report
 
     # -------------------------------------------------------- phase building
@@ -463,6 +483,7 @@ class ScenarioRunner:
 
 
 def run_scenario(spec: ScenarioSpec, seed: int = 0,
-                 scheduler: str = "wheel") -> ScenarioReport:
+                 scheduler: str = "wheel",
+                 hooks: Optional[HookRegistry] = None) -> ScenarioReport:
     """Convenience wrapper: build a runner and run the scenario once."""
-    return ScenarioRunner(spec, seed=seed, scheduler=scheduler).run()
+    return ScenarioRunner(spec, seed=seed, scheduler=scheduler, hooks=hooks).run()

@@ -19,7 +19,10 @@ import json
 from dataclasses import asdict, dataclass, replace
 from typing import Any, Dict, Optional, Tuple
 
-#: Facade selector values accepted by :attr:`ScenarioSpec.facade`.
+from repro.core.config import DEFAULT_MAX_ROUNDS
+
+#: Facade selector values accepted by :attr:`ScenarioSpec.facade` — the same
+#: values as :data:`repro.api.spec.TOPOLOGIES`.
 FACADES = ("single", "sharded")
 
 
@@ -157,7 +160,7 @@ class ScenarioSpec:
     subscribers: int = 16
     topics: Tuple[str, ...] = ("default",)
     phases: Tuple[PhaseSpec, ...] = ()
-    max_stabilize_rounds: int = 2_000
+    max_stabilize_rounds: int = DEFAULT_MAX_ROUNDS
 
     def __post_init__(self) -> None:
         if self.facade not in FACADES:
@@ -177,6 +180,17 @@ class ScenarioSpec:
         # Normalize sequences so equality/round-trip work when lists are passed.
         object.__setattr__(self, "topics", tuple(self.topics))
         object.__setattr__(self, "phases", tuple(self.phases))
+
+    # ------------------------------------------------------------------ system
+    def system_spec(self, seed: int = 0, scheduler: str = "wheel"):
+        """The :class:`~repro.api.spec.SystemSpec` describing the system this
+        scenario runs against.  The runner builds the facade through it, so
+        scenarios follow the unified deployment path like every other driver.
+        """
+        from repro.api.spec import SystemSpec
+        return SystemSpec(topology=self.facade, shards=self.shards, seed=seed,
+                          scheduler=scheduler,
+                          max_rounds=self.max_stabilize_rounds)
 
     # ------------------------------------------------------------ serialization
     def to_dict(self) -> Dict[str, Any]:

@@ -225,6 +225,21 @@ class ChannelStats:
             return self._view("sent_by_node")[node_id]
         return self._sent.get((node_id, action), 0)
 
+    def to_summary_dict(self) -> Dict[str, object]:
+        """A JSON-safe summary of the statistics (totals, per-action sends,
+        per-reason drops) — the shape :class:`~repro.api.report.RunReport`
+        embeds as a message-stat snapshot."""
+        return {
+            "total_sent": self.total_sent,
+            "total_delivered": self.total_delivered,
+            "total_dropped": self.total_dropped,
+            "duplicated": self.duplicated,
+            "drops_by_reason": {reason: count
+                                for reason, count in sorted(self._drops.items())},
+            "sent_by_action": dict(sorted(self._view("sent_by_action").items())),
+            "received_by_action": dict(sorted(self._view("received_by_action").items())),
+        }
+
     def snapshot(self) -> "ChannelStats":
         """Return a deep copy usable as a baseline for differential counting."""
         clone = ChannelStats()

@@ -2,6 +2,12 @@
 
 Used by experiment E3 (subscribe/unsubscribe overhead), E9 (failure recovery)
 and the integration tests that exercise the system under continuous change.
+
+Churn is **facade-agnostic**: schedules are applied to any
+:class:`~repro.core.facade.PubSubFacadeBase` (single-supervisor or sharded),
+and events target members by their **stable node id** — never by position in
+a subscriber list, which would silently shift as earlier events fire and
+could even address a supervisor on the sharded facade.
 """
 
 from __future__ import annotations
@@ -10,7 +16,8 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.core.system import SupervisedPubSub
+from repro.core.facade import PubSubFacadeBase
+from repro.sim.node import NodeRef
 
 
 @dataclass(frozen=True)
@@ -19,8 +26,9 @@ class ChurnEvent:
 
     time: float
     kind: str  # "join", "leave" or "crash"
-    #: index into the system's subscriber list for leave/crash; ignored for join
-    target_index: Optional[int] = None
+    #: stable node id of the leave/crash victim; ``None`` picks a random live
+    #: member when the event fires.  Ignored for joins.
+    target: Optional[NodeRef] = None
 
     def __post_init__(self) -> None:
         if self.kind not in {"join", "leave", "crash"}:
@@ -61,18 +69,19 @@ def generate_churn(duration: float, join_rate: float, leave_rate: float,
         if rng.random() < expected - count:
             count += 1
         for _ in range(count):
-            schedule.add(ChurnEvent(time=rng.uniform(0, duration), kind=kind,
-                                    target_index=None))
+            schedule.add(ChurnEvent(time=rng.uniform(0, duration), kind=kind))
     return schedule
 
 
-def apply_churn(system: SupervisedPubSub, schedule: ChurnSchedule,
+def apply_churn(system: PubSubFacadeBase, schedule: ChurnSchedule,
                 topic: Optional[str] = None, seed: int = 0) -> None:
     """Register the schedule's events as simulator callbacks.
 
-    ``leave`` and ``crash`` events pick a random live member at the time the
-    event fires, which keeps the schedule meaningful even when prior events
-    changed the membership.
+    ``leave`` and ``crash`` events address their victim by stable node id
+    (:attr:`ChurnEvent.target`).  A ``None`` target picks a random live
+    member at the time the event fires, which keeps the schedule meaningful
+    even when prior events changed the membership; a targeted event whose
+    victim has already left or crashed becomes a no-op.
     """
     topic = topic or system.params.default_topic
     rng = random.Random(seed * 31 + 17)
@@ -85,8 +94,10 @@ def apply_churn(system: SupervisedPubSub, schedule: ChurnSchedule,
             members = system.members(topic)
             if not members:
                 return
-            if event.target_index is not None and event.target_index < len(members):
-                victim = members[event.target_index]
+            if event.target is not None:
+                if event.target not in members:
+                    return
+                victim = event.target
             else:
                 victim = rng.choice(members)
             if event.kind == "leave":

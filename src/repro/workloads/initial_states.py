@@ -197,8 +197,12 @@ def build_adversarial_system(config: AdversarialConfig,
     have been exchanged: labels, neighbours, shortcuts, the database and the
     channels are all set directly as dictated by ``config``.
     """
+    from repro.api.builder import build_system
+    from repro.api.spec import SystemSpec
+
     params = params or ProtocolParams()
-    system = SupervisedPubSub(seed=config.seed, params=params, sim_config=sim_config)
+    system = build_system(SystemSpec.from_legacy(
+        seed=config.seed, params=params, sim_config=sim_config))
     topic = topic or params.default_topic
     subscribers = []
     for _ in range(config.n):

@@ -1,17 +1,17 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite (built through the unified API)."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro import ProtocolParams, SupervisedPubSub
-from repro.core.system import build_stable_system
+from repro.api import SystemSpec, build_stable, build_system
 
 
 @pytest.fixture(scope="session")
 def stable_system_8():
     """A converged 8-subscriber system shared by read-only tests."""
-    system, subscribers = build_stable_system(8, seed=11)
+    system, subscribers = build_stable(SystemSpec(seed=11), 8)
     return system, subscribers
 
 
@@ -19,12 +19,12 @@ def stable_system_8():
 def fresh_system():
     """A factory for fresh systems (tests that mutate state)."""
     def make(n: int = 8, seed: int = 0, params: ProtocolParams | None = None):
-        return build_stable_system(n, seed=seed, params=params)
+        return build_stable(SystemSpec(seed=seed, params=params), n)
     return make
 
 
 @pytest.fixture()
 def empty_system():
     def make(seed: int = 0, params: ProtocolParams | None = None) -> SupervisedPubSub:
-        return SupervisedPubSub(seed=seed, params=params)
+        return build_system(SystemSpec(seed=seed, params=params))
     return make

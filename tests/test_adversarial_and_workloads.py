@@ -2,8 +2,8 @@
 
 import pytest
 
+from repro.api import SystemSpec, build_stable
 from repro.core.config import ProtocolParams
-from repro.core.system import build_stable_system
 from repro.workloads.churn import ChurnEvent, ChurnSchedule, apply_churn, generate_churn
 from repro.workloads.initial_states import (
     AdversarialConfig,
@@ -94,7 +94,7 @@ class TestChurn:
         assert times == sorted(times)
 
     def test_system_survives_churn(self):
-        system, _ = build_stable_system(8, seed=71)
+        system, _ = build_stable(SystemSpec(seed=71), 8)
         schedule = ChurnSchedule()
         schedule.add(ChurnEvent(time=2.0, kind="join"))
         schedule.add(ChurnEvent(time=4.0, kind="join"))
@@ -114,14 +114,14 @@ class TestPublicationWorkloads:
         assert len(set(a)) == 10
 
     def test_scatter_publications_places_content(self):
-        system, subscribers = build_stable_system(6, seed=72)
+        system, subscribers = build_stable(SystemSpec(seed=72), 6)
         keys = scatter_publications(system, subscribers, count=8, seed=1)
         assert len(keys) == 8
         total = sum(len(s.publications()) for s in subscribers)
         assert total == 8  # each publication starts at exactly one subscriber
 
     def test_publish_stream_delivers_over_time(self):
-        system, subscribers = build_stable_system(6, seed=73)
+        system, subscribers = build_stable(SystemSpec(seed=73), 6)
         published = publish_stream(system, subscribers, count=5, seed=2,
                                    spacing_rounds=1.0)
         system.run_rounds(30)

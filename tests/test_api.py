@@ -1,0 +1,367 @@
+"""Tests for the unified deployment API: SystemSpec, builder, hooks, RunReport.
+
+This module is deprecation-clean by construction: every test runs with
+``DeprecationWarning`` promoted to an error (CI additionally runs the file
+under ``-W error::DeprecationWarning``), so the new surface can never lean on
+a deprecated code path.  The shim tests assert their warnings explicitly via
+``pytest.warns``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    DEFAULT_CHECK_EVERY_ROUNDS,
+    DEFAULT_MAX_ROUNDS,
+    HookRegistry,
+    PubSub,
+    RunReport,
+    SystemSpec,
+    build_stable,
+    build_system,
+)
+from repro.cluster.sharded import ShardedPubSub, build_stable_sharded_system
+from repro.core.config import ProtocolParams
+from repro.core.system import SupervisedPubSub, build_stable_system
+from repro.scenarios.library import get_scenario
+from repro.scenarios.runner import ScenarioRunner, run_scenario
+from repro.sim.engine import SimulatorConfig
+from repro.workloads.churn import ChurnEvent, ChurnSchedule, apply_churn
+
+pytestmark = pytest.mark.filterwarnings("error::DeprecationWarning")
+
+
+# --------------------------------------------------------------------- helpers
+def _pre_redesign_system(spec, seed: int, scheduler: str = "wheel"):
+    """Construct the facade exactly the way drivers did before the unified
+    API existed — the reference for byte-parity assertions."""
+    config = SimulatorConfig(seed=seed, scheduler=scheduler)
+    if spec.facade == "sharded":
+        return ShardedPubSub(shards=spec.shards, seed=seed, sim_config=config)
+    return SupervisedPubSub(seed=seed, sim_config=config)
+
+
+def _drive(system, n: int = 8, rounds: int = 60, topic: str = None):
+    """Identical deterministic workload for parity comparisons."""
+    for _ in range(n):
+        system.add_subscriber(topic)
+    system.run_until_legitimate()
+    system.run_rounds(rounds)
+    return system.message_stats().to_summary_dict()
+
+
+class TestSystemSpecRoundTrip:
+    def test_default_spec_round_trips_losslessly(self):
+        spec = SystemSpec()
+        assert SystemSpec.from_json(spec.to_json()) == spec
+        assert SystemSpec.from_dict(json.loads(spec.to_json())) == spec
+
+    def test_custom_spec_round_trips_losslessly(self):
+        spec = SystemSpec(
+            topology="sharded", shards=5, virtual_nodes=16, seed=42,
+            scheduler="heap",
+            params=ProtocolParams(enable_flooding=False, publication_key_bits=32),
+            sim=SimulatorConfig(min_delay=0.2, max_delay=2.0, timeout_jitter=0.1),
+            max_rounds=500, check_every_rounds=2)
+        clone = SystemSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.params.publication_key_bits == 32
+        assert clone.sim.max_delay == 2.0
+
+    def test_sim_seed_and_scheduler_inherit_when_spec_defaults(self):
+        spec = SystemSpec(sim=SimulatorConfig(seed=42, scheduler="heap"))
+        assert spec.seed == 42 and spec.scheduler == "heap"
+        config = spec.sim_config()
+        assert config.seed == 42 and config.scheduler == "heap"
+        # An all-defaults sim collapses to None; other knobs are kept with
+        # neutral seed/scheduler (they live on the spec).
+        assert SystemSpec(sim=SimulatorConfig()).sim is None
+        kept = SystemSpec(seed=7, sim=SimulatorConfig(min_delay=0.3))
+        assert kept.sim.min_delay == 0.3 and kept.sim.seed == 0
+        assert kept.sim_config().seed == 7
+
+    def test_conflicting_seeds_raise_instead_of_silently_overriding(self):
+        with pytest.raises(ValueError, match="conflicting seeds"):
+            SystemSpec(seed=7, sim=SimulatorConfig(seed=999))
+        # Explicitly agreeing is fine.
+        assert SystemSpec(seed=7, sim=SimulatorConfig(seed=7)).seed == 7
+
+    def test_from_legacy_matches_old_facade_precedence(self):
+        # sim_config wins wholesale, the bare seed is ignored — exactly the
+        # old PubSubFacadeBase behaviour the deprecation shims must mirror.
+        spec = SystemSpec.from_legacy(seed=5, sim_config=SimulatorConfig(seed=13))
+        assert spec.seed == 13
+        assert SystemSpec.from_legacy(seed=5).seed == 5
+
+    def test_invalid_topology_and_shard_count_raise(self):
+        with pytest.raises(ValueError, match="topology"):
+            SystemSpec(topology="mesh")
+        with pytest.raises(ValueError, match="exactly one shard"):
+            SystemSpec(topology="single", shards=2)
+        with pytest.raises(ValueError, match="shards"):
+            SystemSpec(topology="sharded", shards=0)
+
+    def test_other_validation_errors(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            SystemSpec(scheduler="quantum")
+        with pytest.raises(ValueError, match="virtual_nodes"):
+            SystemSpec(topology="sharded", shards=2, virtual_nodes=0)
+        with pytest.raises(ValueError, match="max_rounds"):
+            SystemSpec(max_rounds=0)
+        with pytest.raises(ValueError, match="check_every_rounds"):
+            SystemSpec(check_every_rounds=0)
+
+    def test_named_defaults_replace_the_magic_numbers(self):
+        spec = SystemSpec()
+        assert spec.max_rounds == DEFAULT_MAX_ROUNDS == 2_000
+        assert spec.check_every_rounds == DEFAULT_CHECK_EVERY_ROUNDS == 5
+        assert SystemSpec.DEFAULT_MAX_ROUNDS == DEFAULT_MAX_ROUNDS
+        # The facade drivers share the same constants as their defaults.
+        import inspect
+        defaults = inspect.signature(SupervisedPubSub.run_until_legitimate)
+        assert defaults.parameters["max_rounds"].default == DEFAULT_MAX_ROUNDS
+        assert (defaults.parameters["check_every_rounds"].default
+                == DEFAULT_CHECK_EVERY_ROUNDS)
+
+    def test_with_overrides(self):
+        spec = SystemSpec().with_overrides(topology="sharded", shards=3)
+        assert spec.shards == 3
+        assert SystemSpec().shards == 1  # original untouched
+
+
+class TestBuilder:
+    def test_builder_returns_the_right_facade(self):
+        assert isinstance(PubSub.builder().seed(1).build(), SupervisedPubSub)
+        cluster = PubSub.builder().sharded(4).seed(1).build()
+        assert isinstance(cluster, ShardedPubSub)
+        assert cluster.supervisor_node_ids() == [0, 1, 2, 3]
+
+    def test_fluent_chain_accumulates_one_spec(self):
+        built = (PubSub.builder().sharded(4, virtual_nodes=8).scheduler("heap")
+                 .seed(7).params(enable_flooding=False).max_rounds(100).spec())
+        assert built == SystemSpec(
+            topology="sharded", shards=4, virtual_nodes=8, seed=7,
+            scheduler="heap", params=ProtocolParams(enable_flooding=False),
+            max_rounds=100)
+
+    def test_built_facade_remembers_its_spec(self):
+        spec = SystemSpec(seed=5)
+        system = build_system(spec)
+        assert system.spec == spec
+        assert PubSub.from_spec(spec).spec == spec
+        assert PubSub.from_json(spec.to_json()).spec == spec
+
+    def test_single_parity_seed_identical_message_stats(self):
+        via_builder = _drive(PubSub.builder().seed(7).build())
+        direct = _drive(SupervisedPubSub(seed=7))
+        assert via_builder == direct
+
+    def test_sharded_parity_seed_identical_message_stats(self):
+        spec = SystemSpec(topology="sharded", shards=3, seed=5)
+        via_spec = _drive(build_system(spec), topic="t")
+        direct = _drive(ShardedPubSub(shards=3, seed=5), topic="t")
+        assert via_spec == direct
+
+    def test_build_stable_single_topic(self):
+        system, subscribers = build_stable(SystemSpec(seed=3), 8)
+        assert len(subscribers) == 8
+        assert system.is_legitimate()
+
+    def test_build_stable_multi_topic(self):
+        system, subscribers = build_stable(
+            SystemSpec(topology="sharded", shards=2, seed=3),
+            topics=["a", "b"], subscribers_per_topic=4)
+        assert len(subscribers) == 8
+        assert system.is_legitimate("a") and system.is_legitimate("b")
+
+    def test_build_stable_rejects_conflicting_population(self):
+        with pytest.raises(ValueError, match="either topic or topics"):
+            build_stable(SystemSpec(), 4, topic="x", topics=["y"])
+
+    def test_build_stable_unstabilizable_raises(self):
+        with pytest.raises(RuntimeError, match="did not stabilize"):
+            build_stable(SystemSpec(seed=1, max_rounds=1), 16)
+
+
+class TestHooks:
+    def test_subscribe_relegitimacy_and_delivery_hooks(self):
+        events = []
+        system = PubSub.builder().seed(11).build()
+        system.hooks.on_subscribe(lambda n, t: events.append(("subscribe", n, t))) \
+            .on_relegitimacy(lambda ts, r: events.append(("relegitimacy", ts))) \
+            .on_delivery(lambda t, keys, r: events.append(("delivery", t, keys)))
+        peers = [system.add_subscriber() for _ in range(6)]
+        assert events[:6] == [("subscribe", p.node_id, "default") for p in peers]
+        assert system.run_until_legitimate()
+        assert events[6] == ("relegitimacy", ("default",))
+        pub = system.publish(peers[0], b"payload")
+        assert system.run_until_publications_converged(expected_keys={pub.key})
+        assert events[-1] == ("delivery", "default", frozenset({pub.key}))
+
+    def test_hook_firing_order_under_supervisor_crash(self):
+        events = []
+        cluster = PubSub.builder().sharded(2).seed(9).build()
+        cluster.hooks.on_subscribe(lambda n, t: events.append("subscribe")) \
+            .on_relegitimacy(lambda ts, r: events.append("relegitimacy")) \
+            .on_supervisor_crash(
+                lambda s, moved: events.append(("supervisor_crash", s, moved)))
+        for i in range(6):
+            cluster.add_subscriber(f"t{i % 2}")
+        assert cluster.run_until_legitimate()
+        moved = cluster.crash_supervisor(1)
+        assert cluster.run_until_legitimate()
+        # Order: all subscribes, stabilization, the crash, re-stabilization.
+        assert events[:6] == ["subscribe"] * 6
+        assert events[6] == "relegitimacy"
+        assert events[7] == ("supervisor_crash", 1, tuple(moved))
+        assert events[-1] == "relegitimacy"
+
+    def test_scenario_phase_hook_fires_after_supervisor_crash(self):
+        order = []
+        hooks = HookRegistry()
+        hooks.on_relegitimacy(lambda ts, r: order.append("relegitimacy"))
+        hooks.on_supervisor_crash(lambda s, m: order.append("supervisor_crash"))
+        hooks.on_phase(lambda name, rep: order.append(f"phase:{name}"))
+        report = run_scenario(get_scenario("sharded-supervisor-failover"),
+                              seed=1, hooks=hooks)
+        assert report.passed
+        crash_at = order.index("supervisor_crash")
+        # Initial stabilization happens before the failover...
+        assert "relegitimacy" in order[:crash_at]
+        # ...and the phase hook closes the phase after the crash.
+        assert order.index("phase:failover") > crash_at
+
+    def test_emitting_without_listeners_is_a_cheap_no_op(self):
+        registry = HookRegistry()
+        registry.emit_subscribe(1, "t")
+        registry.emit_relegitimacy(("t",), 1.0)
+        registry.emit_delivery("t", {"k"}, 1.0)
+        registry.emit_supervisor_crash(0, ["t"])
+        registry.emit_phase("p", None)
+        assert registry.counts() == {e: 0 for e in registry.counts()}
+
+
+class TestScenarioParityWithPreRedesignConstruction:
+    """The acceptance bar: scenarios driven through the SystemSpec/builder
+    path produce byte-identical reports to direct pre-redesign facade
+    construction at the same seeds."""
+
+    @pytest.mark.parametrize("name", ["lossy-network",
+                                      "sharded-supervisor-failover"])
+    def test_byte_identical_scenario_reports(self, name):
+        spec = get_scenario(name)
+        via_api = run_scenario(spec, seed=1).to_json()
+        old_system = _pre_redesign_system(spec, seed=1)
+        via_old = ScenarioRunner(spec, seed=1, system=old_system).run().to_json()
+        assert via_api == via_old
+
+    def test_run_report_wraps_the_scenario_losslessly(self):
+        report = run_scenario(get_scenario("lossy-network"), seed=2)
+        run = report.to_run_report()
+        assert run.scenario == report.to_dict()
+        assert run.claims == report.invariants()
+        assert run.passed == report.passed
+        assert run.name == "lossy-network"
+        assert len(run.rows) == len(report.phases)
+        # Canonical JSON is deterministic per seed.
+        rerun = run_scenario(get_scenario("lossy-network"), seed=2)
+        assert run.to_json() == rerun.to_run_report().to_json()
+
+
+class TestE12Parity:
+    def test_e12_reports_byte_identical_at_same_seed(self):
+        from repro.experiments.experiments import e12_adversarial_scenarios
+        from repro.experiments.report import render_result
+        first = e12_adversarial_scenarios(seed=5)
+        second = e12_adversarial_scenarios(seed=5)
+        assert first.all_claims_hold, first.failed_claims
+        assert render_result(first) == render_result(second)
+        assert isinstance(first, RunReport)
+
+
+class TestRunReport:
+    def test_claims_and_rows_drive_the_verdict(self):
+        run = RunReport(name="X", title="t", headers=["a"])
+        run.add_row(1)
+        run.claim("holds", True)
+        assert run.passed and run.all_claims_hold and not run.failed_claims
+        run.claim("broken", False)
+        assert not run.passed and run.failed_claims == ["broken"]
+        assert run.experiment_id == "X"
+
+    def test_message_stats_snapshots_embed_summaries(self):
+        system = PubSub.builder().seed(1).build()
+        system.add_subscriber()
+        system.run_rounds(10)
+        run = RunReport(name="X")
+        run.record_message_stats("after-warmup", system)
+        snap = run.message_stats["after-warmup"]
+        assert snap["total_sent"] >= snap["total_delivered"] > 0
+        json.dumps(run.to_dict())  # JSON-safe end to end
+
+    def test_canonical_json(self):
+        run = RunReport(name="X", title="t")
+        parsed = json.loads(run.to_json())
+        assert parsed["name"] == "X" and parsed["passed"] is True
+
+
+class TestDeprecationShims:
+    @pytest.mark.filterwarnings("default::DeprecationWarning")
+    def test_build_stable_system_warns_and_matches_the_unified_helper(self):
+        with pytest.warns(DeprecationWarning, match="build_stable_system"):
+            system, subscribers = build_stable_system(6, seed=4)
+        fresh, fresh_subs = build_stable(SystemSpec(seed=4), 6)
+        assert len(subscribers) == len(fresh_subs) == 6
+        assert (system.message_stats().to_summary_dict()
+                == fresh.message_stats().to_summary_dict())
+
+    @pytest.mark.filterwarnings("default::DeprecationWarning")
+    def test_build_stable_sharded_system_warns_and_matches(self):
+        with pytest.warns(DeprecationWarning, match="build_stable_sharded_system"):
+            cluster = build_stable_sharded_system(["a", "b"], 3, shards=2, seed=4)
+        fresh, _ = build_stable(SystemSpec(topology="sharded", shards=2, seed=4),
+                                topics=["a", "b"], subscribers_per_topic=3)
+        assert (cluster.message_stats().to_summary_dict()
+                == fresh.message_stats().to_summary_dict())
+
+    @pytest.mark.filterwarnings("default::DeprecationWarning")
+    def test_experiment_result_is_a_deprecated_run_report(self):
+        from repro.experiments.runner import ExperimentResult
+        with pytest.warns(DeprecationWarning, match="ExperimentResult"):
+            result = ExperimentResult(experiment_id="E0", title="legacy",
+                                      headers=["h"])
+        assert isinstance(result, RunReport)
+        assert result.experiment_id == result.name == "E0"
+        result.claim("ok", True)
+        assert result.all_claims_hold
+
+
+class TestChurnIsFacadeAgnostic:
+    def test_churn_runs_against_the_sharded_facade(self):
+        cluster, _ = build_stable(
+            SystemSpec(topology="sharded", shards=2, seed=6),
+            topics=["t"], subscribers_per_topic=8)
+        before = len(cluster.members("t"))
+        schedule = ChurnSchedule()
+        schedule.add(ChurnEvent(time=1.0, kind="join"))
+        schedule.add(ChurnEvent(time=2.0, kind="crash"))
+        apply_churn(cluster, schedule, topic="t", seed=3)
+        cluster.run_rounds(10)
+        assert cluster.run_until_legitimate("t", max_rounds=600)
+        assert len(cluster.members("t")) == before  # +1 join, -1 crash
+
+    def test_targeted_event_uses_stable_node_ids(self):
+        system, subscribers = build_stable(SystemSpec(seed=6), 6)
+        victim = subscribers[2].node_id
+        schedule = ChurnSchedule()
+        schedule.add(ChurnEvent(time=1.0, kind="crash", target=victim))
+        # Targeting a node that is not a member is a silent no-op.
+        schedule.add(ChurnEvent(time=2.0, kind="leave", target=10_000))
+        apply_churn(system, schedule, seed=0)
+        system.run_rounds(5)
+        assert victim not in system.members()
+        assert len(system.members()) == 5
+        assert system.run_until_legitimate(max_rounds=600)

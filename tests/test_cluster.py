@@ -3,9 +3,10 @@ regressions (clear errors from crash/_resolve, SimulatorConfig copying)."""
 
 import pytest
 
-from repro.cluster import ShardedPubSub, build_stable_sharded_system
+from repro.api import SystemSpec, build_stable
+from repro.cluster import ShardedPubSub
 from repro.cluster.sharding import ConsistentHashRing, spread
-from repro.core.system import SUPERVISOR_ID, SupervisedPubSub, build_stable_system
+from repro.core.system import SUPERVISOR_ID, SupervisedPubSub
 from repro.sim.engine import SimulatorConfig
 
 TOPICS = [f"topic-{i}" for i in range(8)]
@@ -77,16 +78,16 @@ class TestShardedPubSub:
             ShardedPubSub(shards=0)
 
     def test_topics_balanced_and_stabilized(self):
-        cluster = build_stable_sharded_system(TOPICS, subscribers_per_topic=4,
-                                              shards=4, seed=3)
+        cluster = build_stable(SystemSpec(topology="sharded", shards=4, seed=3),
+                                   topics=TOPICS, subscribers_per_topic=4)[0]
         counts = cluster.shard_topic_counts()
         assert sum(counts.values()) >= len(TOPICS)
         assert max(counts.values()) - min(counts.values()) <= 1
         assert all(cluster.is_legitimate(t) for t in TOPICS)
 
     def test_publication_flow_on_sharded_topic(self):
-        cluster = build_stable_sharded_system(TOPICS[:2], subscribers_per_topic=5,
-                                              shards=2, seed=4)
+        cluster = build_stable(SystemSpec(topology="sharded", shards=2, seed=4),
+                                   topics=TOPICS[:2], subscribers_per_topic=5)[0]
         members = cluster.members(TOPICS[0])
         pub = cluster.publish(members[0], b"sharded news", TOPICS[0])
         assert cluster.run_until_publications_converged(TOPICS[0],
@@ -95,8 +96,8 @@ class TestShardedPubSub:
         assert cluster.all_subscribers_have(pub.key, TOPICS[0])
 
     def test_requests_route_to_owning_shard_only(self):
-        cluster = build_stable_sharded_system(TOPICS, subscribers_per_topic=4,
-                                              shards=4, seed=5)
+        cluster = build_stable(SystemSpec(topology="sharded", shards=4, seed=5),
+                                   topics=TOPICS, subscribers_per_topic=4)[0]
         cluster.run_rounds(30)
         stats = cluster.message_stats()
         assignment = cluster.topic_assignment()
@@ -110,8 +111,8 @@ class TestShardedPubSub:
                 assert supervisor.database(topic).n == 4
 
     def test_crash_supervisor_rebalances_and_reconverges(self):
-        cluster = build_stable_sharded_system(TOPICS, subscribers_per_topic=4,
-                                              shards=4, seed=6)
+        cluster = build_stable(SystemSpec(topology="sharded", shards=4, seed=6),
+                                   topics=TOPICS, subscribers_per_topic=4)[0]
         victim = cluster.live_shard_ids()[1]
         before = cluster.topic_assignment()
         moved = cluster.crash_supervisor(victim)
@@ -149,8 +150,8 @@ class TestShardedPubSub:
         assert cluster.topic_assignment() == {"news": prospective}
 
     def test_surviving_topics_untouched_by_shard_crash(self):
-        cluster = build_stable_sharded_system(TOPICS, subscribers_per_topic=4,
-                                              shards=4, seed=8)
+        cluster = build_stable(SystemSpec(topology="sharded", shards=4, seed=8),
+                                   topics=TOPICS, subscribers_per_topic=4)[0]
         victim = cluster.live_shard_ids()[0]
         survivors = [t for t, s in cluster.topic_assignment().items()
                      if s != victim and t in TOPICS]
@@ -167,12 +168,12 @@ class TestFacadeRegressions:
     of a caller-supplied SimulatorConfig."""
 
     def test_crash_with_supervisor_id_raises_value_error(self):
-        system, _ = build_stable_system(4, seed=9)
+        system, _ = build_stable(SystemSpec(seed=9), 4)
         with pytest.raises(ValueError, match="supervisor"):
             system.crash(SUPERVISOR_ID)
 
     def test_crash_with_unknown_id_raises_value_error(self):
-        system, _ = build_stable_system(4, seed=9)
+        system, _ = build_stable(SystemSpec(seed=9), 4)
         with pytest.raises(ValueError, match="unknown subscriber"):
             system.crash(12345)
 

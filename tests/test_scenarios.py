@@ -5,7 +5,8 @@ import random
 
 import pytest
 
-from repro.core.system import SupervisedPubSub, build_stable_system
+from repro.api import SystemSpec, build_stable
+from repro.core.system import SupervisedPubSub
 from repro.scenarios.adversary import DelaySpike, LinkAdversary, Partition
 from repro.scenarios.cli import main as cli_main
 from repro.scenarios.library import SCENARIOS, get_scenario, scenario_names
@@ -135,7 +136,7 @@ class TestAdversaryHooks:
     def test_system_reconverges_under_transient_loss(self):
         """Self-stabilization survives a lossy spell: the paper's channel
         never loses messages, the protocol still recovers when ours does."""
-        system, _ = build_stable_system(8, seed=9)
+        system, _ = build_stable(SystemSpec(seed=9), 8)
         adversary = LinkAdversary(system.sim.adversary_rng(), loss_rate=0.2)
         system.sim.install_adversary(adversary)
         system.run_rounds(20)

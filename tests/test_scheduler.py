@@ -5,7 +5,7 @@ import random
 
 import pytest
 
-from repro.core.system import build_stable_system
+from repro.api import SystemSpec, build_stable
 from repro.sim.engine import Simulator, SimulatorConfig
 from repro.sim.node import ProtocolNode
 from repro.sim.scheduler import (
@@ -112,7 +112,7 @@ class TestEngineParity:
         topology and message totals under either scheduler."""
         def run(scheduler):
             config = SimulatorConfig(seed=13, scheduler=scheduler)
-            system, _ = build_stable_system(12, seed=13, sim_config=config)
+            system, _ = build_stable(SystemSpec(sim=config), 12)
             stats = system.message_stats()
             return (system.explicit_edges(), stats.total_sent, stats.total_delivered,
                     system.sim.now)

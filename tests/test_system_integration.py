@@ -6,7 +6,7 @@ import pytest
 from repro import ProtocolParams, SupervisedPubSub
 from repro.analysis.convergence import edge_set_signature, publications_converged
 from repro.core.labels import label_of
-from repro.core.system import build_stable_system
+from repro.api import SystemSpec, build_stable
 from repro.pubsub.publications import Publication
 from repro.workloads.publications import scatter_publications
 
@@ -14,7 +14,7 @@ from repro.workloads.publications import scatter_publications
 class TestConvergenceFromJoins:
     @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 16])
     def test_join_only_systems_stabilize(self, n):
-        system, _ = build_stable_system(n, seed=100 + n)
+        system, _ = build_stable(SystemSpec(seed=100 + n), n)
         report = system.legitimacy_report()
         assert report.legitimate, report.problems
 
@@ -117,7 +117,7 @@ class TestPublications:
 
     def test_anti_entropy_alone_converges_without_flooding(self):
         params = ProtocolParams(enable_flooding=False)
-        system, subscribers = build_stable_system(8, seed=43, params=params)
+        system, subscribers = build_stable(SystemSpec(seed=43, params=params), 8)
         publication = system.publish(subscribers[0], b"slow news")
         assert system.run_until_publications_converged(expected_keys={publication.key},
                                                        max_rounds=600)
