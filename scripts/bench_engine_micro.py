@@ -6,7 +6,9 @@ sends one message per Timeout — the Timeout-storm event mix that dominates
 large runs):
 
 * ``seed-style``  — binary heap + per-message ``getattr`` dispatch, emulating
-  the pre-fast-path engine;
+  the seed engine's *dispatch* cost (the rest of the engine — fused drain
+  loop, batched delay RNG, slotted messages — is the current fast path for
+  all three rows; see ``BENCH_*.json`` for the true cross-PR trajectory);
 * ``heap``        — binary heap + precompiled dispatch tables;
 * ``wheel``       — bucketed timeout wheel + precompiled dispatch tables
   (the default engine).

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Run the perf-regression bench suite and maintain the BENCH_*.json trail.
+
+Examples::
+
+    # full matrix, 3 repeats per case, write BENCH_4.json, compare against
+    # the previous committed BENCH_*.json (fails beyond +20 % wall time)
+    python scripts/bench_suite.py
+
+    # CI shape: quick subset, 1 repeat, compare against the committed
+    # baseline BENCH_4.json itself
+    python scripts/bench_suite.py --quick --baseline BENCH_4.json
+
+    # inspect the matrix
+    python scripts/bench_suite.py --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf.cases import BENCH_CASES  # noqa: E402
+from repro.perf.suite import (  # noqa: E402
+    CURRENT_BENCH_ID,
+    DEFAULT_THRESHOLD,
+    bench_path,
+    compare_benchmarks,
+    find_previous_bench,
+    load_bench,
+    run_suite,
+    write_bench,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI subset with two repeats per case (min wins)")
+    parser.add_argument("--cases", help="comma-separated case subset")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repeats per case, min wall time wins (default 3)")
+    parser.add_argument("--out", type=Path,
+                        default=bench_path(REPO_ROOT),
+                        help=f"output file (default BENCH_{CURRENT_BENCH_ID}.json)")
+    parser.add_argument("--baseline", type=Path,
+                        help="baseline BENCH_*.json to compare against "
+                             "(default: highest-id previous BENCH_*.json at "
+                             "the repo root)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="fail when a case's wall time exceeds baseline "
+                             "by more than this fraction (default 0.20)")
+    parser.add_argument("--no-compare", action="store_true",
+                        help="measure and write only; skip the regression gate")
+    parser.add_argument("--list", action="store_true",
+                        help="list the bench matrix and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for case in BENCH_CASES:
+            print(f"{case.name:22s} {case.description}")
+        return 0
+
+    cases = args.cases.split(",") if args.cases else None
+
+    def progress(name, result):
+        eps = result.get("events_per_sec")
+        rss = result.get("peak_rss_kb")
+        print(f"  {name:22s} {result['wall_seconds']:8.3f} s"
+              f"  {f'{eps:,} ev/s' if eps else '-':>16s}"
+              f"  {f'{rss / 1024:.0f} MiB' if rss else '-':>9s}")
+
+    mode = "quick subset" if args.quick else "full matrix"
+    print(f"bench suite ({mode}, repeats={2 if args.quick else args.repeats}):")
+    document = run_suite(cases=cases, repeats=args.repeats, quick=args.quick,
+                         progress=progress)
+    write_bench(document, args.out)
+    print(f"wrote {args.out}")
+
+    if args.no_compare:
+        return 0
+    baseline_path = args.baseline or find_previous_bench(REPO_ROOT)
+    if baseline_path is None:
+        print("no previous BENCH_*.json found; skipping regression comparison")
+        return 0
+    baseline = load_bench(baseline_path)
+    regressions = compare_benchmarks(document, baseline, threshold=args.threshold)
+    print(f"compared against {baseline_path} "
+          f"(threshold +{args.threshold:.0%}):")
+    if regressions:
+        for regression in regressions:
+            print(f"  REGRESSION {regression}")
+        return 1
+    print("  no wall-time regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,7 +68,7 @@ from repro.api import (
     build_system,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ProtocolParams",

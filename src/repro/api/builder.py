@@ -132,6 +132,14 @@ class SystemBuilder:
         self._spec = self._spec.with_overrides(scheduler=name)
         return self
 
+    def wheel_bucket_width(self, width: Optional[float]) -> "SystemBuilder":
+        """Pin the timeout-wheel bucket width (``None`` restores auto-sizing).
+
+        A pure performance knob: event order — and therefore every report —
+        is identical for any width."""
+        self._spec = self._spec.with_overrides(wheel_bucket_width=width)
+        return self
+
     def params(self, params: Optional[ProtocolParams] = None,
                **overrides) -> "SystemBuilder":
         """Set protocol params wholesale and/or override individual fields."""

@@ -52,7 +52,16 @@ class Neighbor(NamedTuple):
 
 
 class TopicView:
-    """Per-topic protocol state of a subscriber."""
+    """Per-topic protocol state of a subscriber.
+
+    Slotted: a million-subscriber simulation holds one view per (node, topic)
+    pair and the routing/shortcut fields are read on every delivered message,
+    so the state lives in fixed slots instead of a per-instance dict.
+    """
+
+    __slots__ = ("owner", "topic", "subscribed", "pending_unsubscribe", "label",
+                 "left", "right", "ring", "shortcuts", "trie",
+                 "config_change_count", "_last_config_state")
 
     def __init__(self, owner: "Subscriber", topic: str, subscribed: bool) -> None:
         self.owner = owner
@@ -625,6 +634,9 @@ class Subscriber(ProtocolNode):
     ``topic -> NodeRef``) routes every supervisor-bound request of a topic
     view to that topic's owning shard instead.
     """
+
+    __slots__ = ("supervisor_id", "supervisor_resolver", "params", "views",
+                 "rng", "configuration_requests")
 
     def __init__(self, node_id: NodeRef, supervisor_id: NodeRef,
                  params: Optional[ProtocolParams] = None,

@@ -1,0 +1,59 @@
+"""Subprocess entry point of the perf suite: run one case, print one JSON.
+
+Usage (normally via :func:`repro.perf.suite.run_suite`)::
+
+    python -m repro.perf.case_runner core_2k_wheel --repeats 3
+
+Running each case in a fresh interpreter keeps measurements honest: no
+warm caches or leftover garbage from earlier cases, and the process-wide
+peak-RSS high-water mark (``getrusage``) genuinely belongs to the case.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def measure(name: str, repeats: int) -> dict:
+    from repro.perf.cases import get_case
+
+    case = get_case(name)
+    walls = []
+    events = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        events, payload = case.run()
+        walls.append(time.perf_counter() - start)
+        del payload
+    try:
+        import resource
+        peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except ImportError:  # pragma: no cover - non-POSIX
+        peak_rss_kb = None
+    wall = min(walls)  # min is the stable statistic on noisy machines
+    return {
+        "name": name,
+        "description": case.description,
+        "wall_seconds": round(wall, 4),
+        "wall_seconds_all": [round(w, 4) for w in walls],
+        "events": events,
+        "events_per_sec": round(events / wall) if events else None,
+        "peak_rss_kb": peak_rss_kb,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("case", help="bench case name (see repro.perf.cases)")
+    parser.add_argument("--repeats", type=int, default=1)
+    args = parser.parse_args(argv)
+    json.dump(measure(args.case, max(args.repeats, 1)), sys.stdout)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

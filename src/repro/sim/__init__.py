@@ -26,10 +26,11 @@ from repro.sim.scheduler import (
     EventScheduler,
     HeapScheduler,
     TimeoutWheelScheduler,
+    auto_bucket_width,
     make_scheduler,
 )
 from repro.sim.tracing import Tracer, TraceEvent
-from repro.sim.rng import derive_rng, spawn_seeds
+from repro.sim.rng import BatchedUniform, derive_rng, spawn_seeds
 
 __all__ = [
     "Simulator",
@@ -37,6 +38,7 @@ __all__ = [
     "EventScheduler",
     "HeapScheduler",
     "TimeoutWheelScheduler",
+    "auto_bucket_width",
     "make_scheduler",
     "Message",
     "Network",
@@ -47,6 +49,7 @@ __all__ = [
     "CrashSchedule",
     "Tracer",
     "TraceEvent",
+    "BatchedUniform",
     "derive_rng",
     "spawn_seeds",
 ]

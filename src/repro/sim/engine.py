@@ -11,6 +11,17 @@ The simulator realises the paper's asynchronous execution model:
 
 All randomness is derived from a single master seed
 (:class:`SimulatorConfig.seed`), so runs are reproducible.
+
+Hot-path layout (PR 4): the drivers funnel into :meth:`Simulator.
+run_until_time`, whose loop pops events straight off the concrete scheduler
+(wheel bucket tail / C-level ``heappop``; custom schedulers are drained in
+same-timestamp batches through
+:meth:`~repro.sim.scheduler.EventScheduler.pop_batch_into`), keeps every
+per-event collaborator prebound in locals, and fuses the deliver → handler →
+stats chain without intermediate wrappers.  Message delays come from a
+:class:`~repro.sim.rng.BatchedUniform` pre-generated in blocks —
+bit-identical to per-call ``Random.uniform`` draws, so seeded runs (and
+their reports) are byte-identical to the unbatched engine's.
 """
 
 from __future__ import annotations
@@ -18,13 +29,21 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
+
+import heapq
 
 from repro.sim.failure import CrashSchedule, FailureDetector
 from repro.sim.network import Message, Network
 from repro.sim.node import NodeRef, ProtocolNode
-from repro.sim.rng import derive_rng
-from repro.sim.scheduler import SCHEDULER_NAMES, EventScheduler, make_scheduler
+from repro.sim.rng import BatchedUniform, derive_rng
+from repro.sim.scheduler import (
+    SCHEDULER_NAMES,
+    EventScheduler,
+    HeapScheduler,
+    TimeoutWheelScheduler,
+    make_scheduler,
+)
 from repro.sim.tracing import Tracer
 
 
@@ -51,6 +70,12 @@ class SimulatorConfig:
         Event-queue implementation: ``"wheel"`` (bucketed timeout wheel, the
         fast default) or ``"heap"`` (binary heap).  Both produce identical
         event orders for identical seeds (see :mod:`repro.sim.scheduler`).
+    wheel_bucket_width:
+        Explicit bucket width for the timeout wheel.  ``None`` (the default)
+        auto-sizes it from ``timeout_period``/``timeout_jitter`` and the delay
+        bounds (:func:`~repro.sim.scheduler.auto_bucket_width`).  The width
+        only tunes performance — event order, and therefore every report, is
+        identical for any width.
     """
 
     seed: int = 0
@@ -61,6 +86,7 @@ class SimulatorConfig:
     detection_lag: float = 0.0
     keep_trace_events: bool = False
     scheduler: str = "wheel"
+    wheel_bucket_width: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.timeout_period <= 0:
@@ -70,9 +96,11 @@ class SimulatorConfig:
         if self.scheduler not in SCHEDULER_NAMES:
             raise ValueError(
                 f"scheduler must be one of {SCHEDULER_NAMES}, got {self.scheduler!r}")
+        if self.wheel_bucket_width is not None and self.wheel_bucket_width <= 0:
+            raise ValueError("wheel_bucket_width must be positive (or None for auto)")
 
 
-# Event kinds used in the heap
+# Event kinds used in the scheduler
 _DELIVER = 0
 _TIMEOUT = 1
 _CRASH = 2
@@ -90,14 +118,89 @@ class Simulator:
         self.failure_detector = FailureDetector(self.config.detection_lag)
         self.failure_detector.attach(self)
         self.nodes: Dict[NodeRef, ProtocolNode] = {}
-        self.timeout_counts: Dict[NodeRef, int] = {}
-        self.scheduler: EventScheduler = make_scheduler(
-            self.config.scheduler, self.config.timeout_period)
         self._seq = itertools.count()
         self._delay_rng = derive_rng(self.config.seed, "delay")
+        #: pre-generated message-delay draws; bit-identical to calling
+        #: ``self._delay_rng.uniform(min_delay, max_delay)`` per message
+        self._delay_draws = BatchedUniform(
+            self._delay_rng, self.config.min_delay, self.config.max_delay)
         self._jitter_rng = derive_rng(self.config.seed, "jitter")
         self._adversary_rng = derive_rng(self.config.seed, "adversary")
         self._steps = 0
+        # Assigning the scheduler (a property) also binds the fused
+        # ``submit_message`` closure, which captures the scheduler's push.
+        self.scheduler = make_scheduler(
+            self.config.scheduler, self.config.timeout_period,
+            min_delay=self.config.min_delay, max_delay=self.config.max_delay,
+            timeout_jitter=self.config.timeout_jitter,
+            bucket_width=self.config.wheel_bucket_width)
+
+    @property
+    def scheduler(self) -> EventScheduler:
+        """The event queue.  Assigning a new scheduler rebinds the fused
+        submit path, so a replacement (e.g. a custom
+        :class:`~repro.sim.scheduler.EventScheduler` installed by a test or
+        an experiment) is picked up consistently."""
+        return self._scheduler
+
+    @scheduler.setter
+    def scheduler(self, value: EventScheduler) -> None:
+        self._scheduler = value
+        self._bind_fast_submit()
+
+    def _bind_fast_submit(self) -> None:
+        """(Re)build the prebound submit closure.
+
+        Network internals, scheduler, delay source and seq counter are fixed
+        for the simulator's lifetime (scheduler swaps re-run this binding via
+        the property setter), so the per-message path resolves them once here
+        instead of per call.  The closure fuses the no-adversary branch of
+        :meth:`Network.submit` (kept in sync with it — the semantics are
+        pinned by the golden and parity tests); messages facing an adversary
+        or a crashed destination take the full method.  Live reads each call:
+        ``self.now`` and ``network.adversary``.
+        """
+        network = self.network
+        network_submit = network.submit
+        channels = network._channels
+        crashed = network._crashed
+        stats = network.stats
+        sent = stats._sent
+        msg_counter = network._msg_counter
+        delay_draws = self._delay_draws
+        scheduler_push = self._scheduler.push
+        seq = self._seq
+
+        def _fast_submit(msg: Message) -> None:
+            dest = msg.dest
+            if network.adversary is not None or dest in crashed:
+                accepted = network_submit(msg, delay_draws, self.now)
+                for copy in accepted:
+                    scheduler_push((copy.deliver_time, next(seq), _DELIVER, copy))
+                return
+            msg.msg_id = msg_id = next(msg_counter)
+            msg.send_time = now = self.now
+            stats.total_sent += 1
+            key = (msg.sender, msg.action)
+            try:
+                sent[key] += 1
+            except KeyError:
+                sent[key] = 1
+            if stats._derived:
+                stats._derived = {}
+            buffer = delay_draws._buffer
+            if not buffer:
+                delay_draws._refill()
+                buffer = delay_draws._buffer
+            msg.deliver_time = deliver_time = now + buffer.pop()
+            try:
+                channels[dest][msg_id] = msg
+            except KeyError:
+                channels[dest] = {msg_id: msg}
+            scheduler_push((deliver_time, next(seq), _DELIVER, msg))
+
+        #: ownership-transferring fast path (see :meth:`submit_message`)
+        self.submit_message = _fast_submit
 
     # ------------------------------------------------------------------ nodes
     def add_node(self, node: ProtocolNode, schedule_timeout: bool = True) -> ProtocolNode:
@@ -106,7 +209,6 @@ class Simulator:
             raise ValueError(f"duplicate node id {node.node_id}")
         node.attach(self)
         self.nodes[node.node_id] = node
-        self.timeout_counts[node.node_id] = 0
         if schedule_timeout:
             # Stagger the first timeout uniformly over one period so nodes do
             # not fire in lock-step.
@@ -125,13 +227,14 @@ class Simulator:
     def send_message(self, sender: Optional[NodeRef], dest: NodeRef, action: str,
                      topic: Optional[str], params: Dict[str, Any]) -> None:
         """Submit a message to the network and schedule its delivery."""
-        msg = Message(action=action, params=dict(params), sender=sender, dest=dest,
-                      topic=topic)
-        accepted = self.network.submit(msg, self._delay_rng, self.now)
-        if accepted:
-            push = self._push
-            for copy in accepted:
-                push(copy.deliver_time, _DELIVER, copy)
+        self.submit_message(Message(action=action, params=dict(params), sender=sender,
+                                    dest=dest, topic=topic))
+
+    # submit_message — assigned per instance in ``__init__`` — submits an
+    # already-built :class:`Message` and schedules its accepted copies (the
+    # ownership-transferring fast path :meth:`ProtocolNode.send` uses: the
+    # message and its params dict must not be mutated by the caller after
+    # handing them over).
 
     def inject_message(self, dest: NodeRef, action: str, params: Dict[str, Any],
                        topic: Optional[str] = None, delay: Optional[float] = None) -> None:
@@ -141,7 +244,7 @@ class Simulator:
                       topic=topic, send_time=self.now)
         self.network.inject_initial(msg)
         if delay is None:
-            delay = self._delay_rng.uniform(self.config.min_delay, self.config.max_delay)
+            delay = self._delay_draws.next()
         msg.deliver_time = self.now + delay
         self._push(msg.deliver_time, _DELIVER, msg)
 
@@ -222,7 +325,7 @@ class Simulator:
         node = self.nodes.get(node_id)
         if node is None or node.crashed:
             return
-        self.timeout_counts[node_id] += 1
+        node.timeout_count += 1
         node.on_timeout()
         period = self.config.timeout_period
         jitter = self.config.timeout_jitter
@@ -235,13 +338,171 @@ class Simulator:
         self.run_until_time(self.now + duration, max_steps=max_steps)
 
     def run_until_time(self, deadline: float, max_steps: Optional[int] = None) -> None:
+        """Process events in order until the next one lies beyond ``deadline``.
+
+        This is the engine's hot loop.  The drain is fused with the concrete
+        scheduler (wheel tail pops / direct heap pops, falling back to the
+        generic :meth:`~repro.sim.scheduler.EventScheduler.pop_batch_into`
+        batch interface for custom schedulers), every collaborator is
+        prebound in a local, and the two dominant event kinds — message
+        delivery and periodic timeouts — are handled inline: delivery goes
+        channel-pop → crash checks → dispatch with no intermediate frames,
+        and timeout goes handler → jittered reschedule the same way.  Every
+        variant processes the exact per-event ``step()`` sequence: events are
+        consumed in ``(time, seq)`` order, and anything pushed by a handler
+        carries ``time >= now`` and a larger ``seq``, so it sorts strictly
+        after the event being processed (see :mod:`repro.sim.scheduler`).
+        """
+        if max_steps is not None:
+            self._run_until_time_bounded(deadline, max_steps)
+            return
+        scheduler = self.scheduler
+        scheduler_type = type(scheduler)
+        is_wheel = scheduler_type is TimeoutWheelScheduler
+        is_heap = scheduler_type is HeapScheduler
+        if is_wheel:
+            advance = scheduler._advance
+            heap: List[Any] = []
+        elif is_heap:
+            heap = scheduler._heap
+        heappop = heapq.heappop
+        pop_batch_into = scheduler.pop_batch_into
+        pending: List[Any] = []
+        push = scheduler.push
+        seq = self._seq
+        nodes = self.nodes
+        nodes_get = nodes.get
+        network = self.network
+        network_pop = network.pop
+        channels = network._channels
+        stats = network.stats
+        received = stats._received
+        base_dispatch = ProtocolNode.dispatch
+        period = self.config.timeout_period
+        jitter = self.config.timeout_jitter
+        # ``uniform(-jitter, jitter)`` unrolled with its bounds precomputed:
+        # ``a + (b - a) * random()`` with a = -jitter, b - a = 2 * jitter —
+        # bit-identical to Random.uniform, minus the per-event method frame.
+        # (Float addition is non-associative: the parenthesisation in the
+        # reschedule below must stay exactly ``1 + (a + span * r)``.)
+        jitter_random = self._jitter_rng.random
+        neg_jitter = -jitter
+        jitter_span = jitter - neg_jitter
+        steps = 0
+        while True:
+            # ---- pop the next due event, fused with the scheduler kind ----
+            if is_wheel:
+                # the wheel's next event is the tail of the current
+                # (descending-sorted) bucket: a pop is one ``del``
+                current = scheduler._current
+                if not current:
+                    advance()
+                    current = scheduler._current
+                    if not current:
+                        break
+                event = current[-1]
+                time = event[0]
+                if time > deadline:
+                    break
+                del current[-1]
+                scheduler._count -= 1
+            elif is_heap:
+                if not heap or heap[0][0] > deadline:
+                    break
+                event = heappop(heap)
+                time = event[0]
+            else:  # custom scheduler: the portable batch interface
+                if not pending:
+                    if not pop_batch_into(pending, deadline):
+                        break
+                    pending.reverse()  # serve the batch in order off the tail
+                event = pending.pop()
+                time = event[0]
+            steps += 1
+            if time > self.now:
+                self.now = time
+            # ---- handle it (one shared body for every scheduler kind) ----
+            kind = event[2]
+            if kind == _DELIVER:
+                msg = event[3]
+                if network.adversary is not None:
+                    # Adversarial runs take the full channel pop (delivery-
+                    # time partition checks, per-reason drop accounting).
+                    # NB: must not be named `pending` — that local is the
+                    # generic-scheduler batch buffer above.
+                    delivered = network_pop(msg)
+                    if delivered is None:
+                        continue
+                    node = nodes_get(delivered.dest)
+                    if node is None or node.crashed:
+                        continue
+                    node.dispatch(delivered)
+                    continue
+                # Fused no-adversary delivery (in sync with Network.pop):
+                # the scheduled payload IS the stored channel entry, so the
+                # channel pop is pure bookkeeping, and the O(1) stats
+                # counters update inline.  Channel/node lookups use plain
+                # subscripts with KeyError fallbacks: misses only happen when
+                # the destination crashed after the send (or a corrupted
+                # initial state referenced a phantom node).
+                dest = msg.dest
+                try:
+                    del channels[dest][msg.msg_id]
+                except KeyError:
+                    continue  # destination crashed after the send
+                stats.total_delivered += 1
+                stats_key = (dest, msg.action)
+                try:
+                    received[stats_key] += 1
+                except KeyError:
+                    received[stats_key] = 1
+                if stats._derived:
+                    stats._derived = {}
+                try:
+                    node = nodes[dest]
+                except KeyError:
+                    continue
+                if node.crashed:
+                    continue
+                node_type = node.__class__
+                if node_type.dispatch is not base_dispatch:
+                    node.dispatch(msg)  # subclass overrides dispatch wholesale
+                    continue
+                handler = node_type._action_handlers.get(msg.action)
+                if handler is None:
+                    node.dispatch(msg)  # unknown action / late-bound handler
+                    continue
+                params = msg.params
+                topic = msg.topic
+                if topic is not None and "topic" not in params:
+                    params["topic"] = topic
+                handler(node, **params)
+            elif kind == _TIMEOUT:
+                node_id = event[3]
+                node = nodes_get(node_id)
+                if node is None or node.crashed:
+                    continue
+                node.timeout_count += 1
+                node.on_timeout()
+                next_in = period * (
+                    1 + (neg_jitter + jitter_span * jitter_random()))
+                push((self.now + next_in, next(seq), _TIMEOUT, node_id))
+            elif kind == _CRASH:
+                self._apply_crash(event[3])
+            else:
+                event[3]()
+        self._steps += steps
+        if deadline > self.now:
+            self.now = deadline
+
+    def _run_until_time_bounded(self, deadline: float, max_steps: int) -> None:
+        """Step-capped variant of :meth:`run_until_time` (rarely used; kept
+        off the fused loop so the cap stays exact at event granularity)."""
         steps = 0
         next_time = self.scheduler.next_time
-        while True:
+        while steps < max_steps:
             upcoming = next_time()
             if upcoming is None or upcoming > deadline:
-                break
-            if max_steps is not None and steps >= max_steps:
                 break
             self.step()
             steps += 1
@@ -267,13 +528,17 @@ class Simulator:
                 break
         return predicate()
 
+    @property
+    def timeout_counts(self) -> Dict[NodeRef, int]:
+        """Per-node ``Timeout`` firing counts (a fresh dict view; the live
+        counter is :attr:`ProtocolNode.timeout_count`)."""
+        return {node_id: node.timeout_count for node_id, node in self.nodes.items()}
+
     def completed_timeout_intervals(self) -> int:
         """Number of completed *timeout intervals* (every live node fired its
         Timeout at least that many times) — the unit used in Theorem 5."""
-        live = [nid for nid, n in self.nodes.items() if not n.crashed]
-        if not live:
-            return 0
-        return min(self.timeout_counts[nid] for nid in live)
+        counts = [n.timeout_count for n in self.nodes.values() if not n.crashed]
+        return min(counts) if counts else 0
 
     @property
     def steps_executed(self) -> int:

@@ -53,19 +53,42 @@ class FailureDetector:
         ``0.0`` gives a perfect detector; larger values model slow detection.
     """
 
+    __slots__ = ("detection_lag", "_crash_times", "_sim",
+                 "_suspect_cache", "_suspect_cache_time")
+
     def __init__(self, detection_lag: float = 0.0) -> None:
         if detection_lag < 0:
             raise ValueError("detection_lag must be non-negative")
         self.detection_lag = detection_lag
         self._crash_times: Dict[int, float] = {}
         self._sim: Optional["Simulator"] = None
+        #: node ids suspected at ``_suspect_cache_time`` — the supervisor
+        #: timeout path queries every database member per topic per Timeout,
+        #: so the suspect set is materialised once per simulation time instead
+        #: of re-deriving ``now >= crash_time + lag`` on every call.
+        self._suspect_cache: frozenset[int] = frozenset()
+        self._suspect_cache_time: Optional[float] = None
 
     def attach(self, sim: "Simulator") -> None:
         self._sim = sim
 
     def notify_crash(self, node_id: int, time: float) -> None:
         """Record that ``node_id`` crashed at ``time`` (called by the simulator)."""
-        self._crash_times.setdefault(node_id, time)
+        if node_id not in self._crash_times:
+            self._crash_times[node_id] = time
+            # A zero-lag detector suspects the node at the very time of the
+            # crash, so a cache built for the current time is already stale.
+            self._suspect_cache_time = None
+
+    def _suspected_at(self, now: float) -> frozenset[int]:
+        """The full suspect set at ``now``, cached per simulation time."""
+        if now != self._suspect_cache_time:
+            lag = self.detection_lag
+            self._suspect_cache = frozenset(
+                node_id for node_id, crash_time in self._crash_times.items()
+                if now >= crash_time + lag)
+            self._suspect_cache_time = now
+        return self._suspect_cache
 
     def suspects(self, node_id: int, now: Optional[float] = None) -> bool:
         """True once the detector has (eventually-correctly) detected the crash.
@@ -75,8 +98,7 @@ class FailureDetector:
         detached detector cannot know the current time, so omitting ``now``
         raises instead of silently guessing.
         """
-        crash_time = self._crash_times.get(node_id)
-        if crash_time is None:
+        if node_id not in self._crash_times:
             return False
         if now is None:
             if self._sim is None:
@@ -85,7 +107,7 @@ class FailureDetector:
                     "detector is not attached to a simulator (attach() was never "
                     "called); a detached detector has no clock to consult")
             now = self._sim.now
-        return now >= crash_time + self.detection_lag
+        return node_id in self._suspected_at(now)
 
     def suspected(self, node_ids: Iterable[int], now: Optional[float] = None) -> List[int]:
         """Subset of ``node_ids`` currently suspected as crashed."""

@@ -18,14 +18,20 @@ self-stabilization under conditions the paper's channel never exhibits.
 from __future__ import annotations
 
 import itertools
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single protocol message of the form ``<label>(<parameters>)``.
+
+    The class is slotted: a 2k-node maintenance round creates hundreds of
+    thousands of messages, and dropping the per-instance ``__dict__`` both
+    shrinks them and speeds up the attribute traffic on the submit/deliver
+    hot path.  Messages are plain data records — nothing may hang ad-hoc
+    attributes off them.
 
     Attributes
     ----------
@@ -283,12 +289,19 @@ class Network:
     when the destination processes it.
     """
 
+    __slots__ = ("min_delay", "max_delay", "_channels", "_msg_counter",
+                 "stats", "_crashed", "adversary")
+
     def __init__(self, min_delay: float = 0.1, max_delay: float = 1.0) -> None:
         if min_delay <= 0 or max_delay < min_delay:
             raise ValueError("delays must satisfy 0 < min_delay <= max_delay")
         self.min_delay = min_delay
         self.max_delay = max_delay
-        self._channels: Dict[int, Dict[int, Message]] = defaultdict(dict)
+        #: dest -> {msg_id -> message}.  A plain dict (not a defaultdict):
+        #: the engine's fused delivery path subscripts it, and an auto-
+        #: creating container would silently resurrect empty channels for
+        #: crashed destinations that :meth:`mark_crashed` discarded.
+        self._channels: Dict[int, Dict[int, Message]] = {}
         self._msg_counter = itertools.count()
         self.stats = ChannelStats()
         self._crashed: set[int] = set()
@@ -329,17 +342,30 @@ class Network:
         dropped the message; it has more than one element when the adversary
         duplicated it.  Without an adversary the result is always zero or one
         message — the paper's channel model — served by an allocation-light
-        fast path (this is the per-message hot loop).
+        fast path (this is the per-message hot loop, so the O(1)
+        :class:`ChannelStats` counter updates are fused inline rather than
+        paying a method call and a re-read of ``msg`` fields per message).
         """
         msg.msg_id = next(self._msg_counter)
         msg.send_time = now
-        self.stats.record_send(msg)
-        if msg.dest in self._crashed:
-            self.stats.record_drop(DROP_TO_CRASHED)
+        dest = msg.dest
+        stats = self.stats
+        stats.total_sent += 1
+        key = (msg.sender, msg.action)
+        sent = stats._sent
+        sent[key] = sent.get(key, 0) + 1
+        if stats._derived:
+            stats._derived = {}
+        if dest in self._crashed:
+            drops = stats._drops
+            drops[DROP_TO_CRASHED] = drops.get(DROP_TO_CRASHED, 0) + 1
             return ()
         if self.adversary is None:
             msg.deliver_time = now + rng.uniform(self.min_delay, self.max_delay)
-            self._channels[msg.dest][msg.msg_id] = msg
+            try:
+                self._channels[dest][msg.msg_id] = msg
+            except KeyError:
+                self._channels[dest] = {msg.msg_id: msg}
             return (msg,)
         return self._submit_adversarial(msg, rng, now)
 
@@ -357,7 +383,7 @@ class Network:
             copy = msg if i == 0 else replace(msg, msg_id=next(self._msg_counter))
             delay = rng.uniform(self.min_delay, self.max_delay) * verdict.delay_factor
             copy.deliver_time = now + delay
-            self._channels[copy.dest][copy.msg_id] = copy
+            self._channels.setdefault(copy.dest, {})[copy.msg_id] = copy
             accepted.append(copy)
         return accepted
 
@@ -369,7 +395,7 @@ class Network:
         msg.corrupted = True
         if msg.dest in self._crashed:
             return msg
-        self._channels[msg.dest][msg.msg_id] = msg
+        self._channels.setdefault(msg.dest, {})[msg.msg_id] = msg
         return msg
 
     # -------------------------------------------------------------- delivery
@@ -393,7 +419,13 @@ class Network:
             if reason is not None:
                 self.stats.record_drop(reason)
                 return None
-        self.stats.record_delivery(pending)
+        stats = self.stats
+        stats.total_delivered += 1
+        key = (pending.dest, pending.action)
+        received = stats._received
+        received[key] = received.get(key, 0) + 1
+        if stats._derived:
+            stats._derived = {}
         return pending
 
     # ------------------------------------------------------------ inspection

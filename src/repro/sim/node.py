@@ -19,16 +19,27 @@ from __future__ import annotations
 
 from typing import Any, Callable, ClassVar, Dict, Optional, TYPE_CHECKING
 
+from repro.sim.network import Message
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
-    from repro.sim.network import Message
 
 #: Node references are opaque integers, unique per simulator instance.
 NodeRef = int
 
 
 class ProtocolNode:
-    """A single protocol participant attached to a :class:`Simulator`."""
+    """A single protocol participant attached to a :class:`Simulator`.
+
+    The base class is slotted: simulations hold thousands of nodes and touch
+    ``crashed``/``_sim``/``node_id`` on every event, so the base state lives
+    in fixed slots.  Subclasses may declare their own ``__slots__`` to stay
+    fully slotted (as :class:`~repro.core.subscriber.Subscriber` does) or
+    declare none and transparently regain a ``__dict__`` for ad-hoc
+    attributes (as the test doubles and baselines do).
+    """
+
+    __slots__ = ("node_id", "crashed", "timeout_count", "_sim")
 
     #: Class-level action → unbound-handler table, compiled once per subclass
     #: (see :meth:`_compile_action_handlers`).  Replaces the per-message
@@ -57,6 +68,10 @@ class ProtocolNode:
     def __init__(self, node_id: NodeRef) -> None:
         self.node_id: NodeRef = node_id
         self.crashed: bool = False
+        #: number of ``Timeout`` firings, maintained by the simulator (a slot
+        #: here instead of a simulator-side dict: the counter is bumped once
+        #: per timeout event, and a slot store beats a hashed dict update)
+        self.timeout_count: int = 0
         self._sim: Optional["Simulator"] = None
 
     # ------------------------------------------------------------------ wiring
@@ -83,11 +98,21 @@ class ProtocolNode:
         Sending to ``None`` (an unset reference) is a silent no-op, mirroring
         the convention in the paper's pseudocode where calls on ``⊥`` do
         nothing.  Crashed nodes never send.
+
+        This is the per-message hot path: the kwargs dict is freshly built by
+        the call itself, so it is handed to the message without the defensive
+        copy :meth:`Simulator.send_message` performs for external callers, and
+        submission goes through the simulator's prebound ``submit_message``
+        closure (network, scheduler and delay source resolved once per
+        simulator, not once per message).
         """
         if self.crashed or dest is None:
             return
-        self.sim.send_message(sender=self.node_id, dest=dest, action=action,
-                              topic=topic, params=params)
+        sim = self._sim
+        if sim is None:
+            raise RuntimeError(f"node {self.node_id} is not attached to a simulator")
+        sim.submit_message(Message(action=action, params=params,
+                                   sender=self.node_id, dest=dest, topic=topic))
 
     # ----------------------------------------------------------------- actions
     def on_timeout(self) -> None:
@@ -118,10 +143,16 @@ class ProtocolNode:
                 params["topic"] = msg.topic
             bound(**params)
             return
+        # The topic is folded into the params dict IN PLACE: every message
+        # owns its params (send/send_message/inject_message copy or transfer
+        # ownership on construction), handlers only ever see the unpacked
+        # ``**params`` copy, and for adversarial duplicates — which share one
+        # dict — the write is idempotent.  This saves a dict copy on every
+        # topic-carrying delivery.
         params = msg.params
-        if msg.topic is not None and "topic" not in params:
-            params = dict(params)
-            params["topic"] = msg.topic
+        topic = msg.topic
+        if topic is not None and "topic" not in params:
+            params["topic"] = topic
         handler(self, **params)
 
     # ------------------------------------------------------------------- misc

@@ -1,0 +1,324 @@
+"""Unit tests for the PR 4 hot-path machinery: batched RNG draws, scheduler
+batch pops, wheel bucket auto-sizing (and its SystemSpec knob), the cached
+failure detector, and the slotted message/node state."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.api import SystemSpec
+from repro.sim.engine import Simulator, SimulatorConfig
+from repro.sim.failure import FailureDetector
+from repro.sim.network import Message
+from repro.sim.node import ProtocolNode
+from repro.sim.rng import BatchedUniform
+from repro.sim.scheduler import (
+    HeapScheduler,
+    TimeoutWheelScheduler,
+    auto_bucket_width,
+    make_scheduler,
+)
+
+
+class TestBatchedUniform:
+    def test_bitwise_identical_to_sequential_uniform(self):
+        """The whole point: pre-generated batches must reproduce the exact
+        float sequence of per-call ``Random.uniform`` on the same seed."""
+        reference = random.Random(1234)
+        expected = [reference.uniform(0.1, 1.0) for _ in range(3000)]
+        batched = BatchedUniform(random.Random(1234), 0.1, 1.0, batch_size=128)
+        got = [batched.next() for _ in range(3000)]
+        assert got == expected  # == on floats: bitwise equality intended
+
+    def test_uniform_signature_matches_next(self):
+        a = BatchedUniform(random.Random(7), 0.5, 2.0)
+        b = BatchedUniform(random.Random(7), 0.5, 2.0)
+        assert [a.uniform(0.5, 2.0) for _ in range(10)] == \
+               [b.next() for _ in range(10)]
+
+    def test_refuses_foreign_interval(self):
+        draws = BatchedUniform(random.Random(0), 0.1, 1.0)
+        with pytest.raises(ValueError, match="bound to"):
+            draws.uniform(0.2, 0.9)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            BatchedUniform(random.Random(0), 2.0, 1.0)
+        with pytest.raises(ValueError):
+            BatchedUniform(random.Random(0), 0.0, 1.0, batch_size=0)
+
+    def test_pending_introspection(self):
+        draws = BatchedUniform(random.Random(0), 0.0, 1.0, batch_size=8)
+        assert draws.pending() == 0
+        draws.next()
+        assert draws.pending() == 7
+
+
+class TestPopBatch:
+    @staticmethod
+    def _fill(events):
+        heap, wheel = HeapScheduler(), TimeoutWheelScheduler(bucket_width=0.25)
+        for event in events:
+            heap.push(event)
+            wheel.push(event)
+        return heap, wheel
+
+    def test_equal_timestamp_runs_drain_in_one_batch(self):
+        events = [(1.0, 0, 0, "a"), (1.0, 1, 0, "b"), (1.0, 2, 0, "c"),
+                  (2.0, 3, 0, "d")]
+        for scheduler in self._fill(events):
+            batch = scheduler.pop_batch()
+            assert batch == events[:3]
+            assert scheduler.pop_batch() == [events[3]]
+            assert len(scheduler) == 0
+
+    def test_limit_excludes_future_events(self):
+        events = [(1.0, 0, 0, "a"), (5.0, 1, 0, "b")]
+        for scheduler in self._fill(events):
+            assert scheduler.pop_batch(limit=0.5) == []
+            assert scheduler.pop_batch(limit=1.0) == [events[0]]
+            assert scheduler.pop_batch(limit=2.0) == []
+            assert len(scheduler) == 1
+
+    def test_pop_batch_into_reuses_buffer_and_counts(self):
+        events = [(1.0, 0, 0, "a"), (1.0, 1, 0, "b"), (3.0, 2, 0, "c")]
+        for scheduler in self._fill(events):
+            out = []
+            assert scheduler.pop_batch_into(out) == 2
+            assert scheduler.pop_batch_into(out) == 1
+            assert out == events
+            assert scheduler.pop_batch_into(out) == 0
+
+    def test_heap_wheel_batch_parity_randomized(self):
+        rng = random.Random(3)
+        # Coarse timestamps force plenty of equal-time collisions.
+        events = [(round(rng.uniform(0, 20), 1), seq, seq % 4, None)
+                  for seq in range(2_000)]
+        heap, wheel = self._fill(events)
+        while len(heap):
+            assert heap.pop_batch() == wheel.pop_batch()
+        assert len(wheel) == 0
+
+
+class TestWheelAutoSizing:
+    def test_auto_width_tracks_shorter_horizon(self):
+        # Delay-dominated: width follows max_delay, not the timeout period.
+        assert auto_bucket_width(10.0, 0.01, 0.2) == pytest.approx(0.05)
+        # Timeout-dominated: width follows the jittered period.
+        assert auto_bucket_width(1.0, 0.1, 50.0, 0.2) == pytest.approx(0.3)
+        assert auto_bucket_width(0.0, 0.0, 0.0) > 0  # never degenerate
+
+    def test_make_scheduler_uses_auto_width(self):
+        wheel = make_scheduler("wheel", 1.0, min_delay=0.1, max_delay=1.0,
+                               timeout_jitter=0.2)
+        assert wheel.bucket_width == pytest.approx(auto_bucket_width(1.0, 0.1, 1.0, 0.2))
+        pinned = make_scheduler("wheel", 1.0, bucket_width=0.125)
+        assert pinned.bucket_width == 0.125
+
+    def test_config_validates_width(self):
+        with pytest.raises(ValueError, match="wheel_bucket_width"):
+            SimulatorConfig(wheel_bucket_width=0.0)
+        assert SimulatorConfig(wheel_bucket_width=0.5).wheel_bucket_width == 0.5
+
+    def test_simulator_threads_width_to_wheel(self):
+        sim = Simulator(SimulatorConfig(wheel_bucket_width=0.125))
+        assert sim.scheduler.bucket_width == 0.125
+
+    def test_bucket_width_never_changes_results(self):
+        """The knob is pure performance: any width, identical runs."""
+        def run(width):
+            config = SimulatorConfig(seed=5, wheel_bucket_width=width)
+            sim = Simulator(config)
+            nodes = [sim.add_node(_Pinger(i + 1)) for i in range(30)]
+            sim.run_rounds(25)
+            return ([n.pings for n in nodes], sim.steps_executed,
+                    sim.network.stats.total_delivered, sim.now)
+
+        baseline = run(None)
+        for width in (0.01, 0.3, 2.5, 40.0):
+            assert run(width) == baseline
+
+
+class _Pinger(ProtocolNode):
+    __slots__ = ("pings",)
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.pings = 0
+
+    def on_timeout(self):
+        self.send(self.node_id % 30 + 1, "Ping", sender=self.node_id)
+
+    def on_Ping(self, sender, topic=None):
+        self.pings += 1
+
+
+class TestGenericSchedulerDrain:
+    def test_custom_scheduler_runs_through_batch_interface(self):
+        """A scheduler that is not exactly HeapScheduler/TimeoutWheelScheduler
+        is drained through the portable ``pop_batch_into`` interface and must
+        produce results identical to the built-ins."""
+        calls = {"batches": 0}
+
+        class CountingHeap(HeapScheduler):  # subclass -> generic engine path
+            def pop_batch_into(self, out, limit=float("inf")):
+                count = super().pop_batch_into(out, limit)
+                if count:
+                    calls["batches"] += 1
+                return count
+
+        def run(scheduler=None):
+            sim = Simulator(SimulatorConfig(seed=6))
+            if scheduler is not None:
+                sim.scheduler = scheduler
+            nodes = [sim.add_node(_Pinger(i + 1)) for i in range(30)]
+            sim.run_rounds(20)
+            return ([n.pings for n in nodes], sim.steps_executed,
+                    sim.network.stats.total_delivered, sim.now)
+
+        custom = run(CountingHeap())
+        assert calls["batches"] > 0, "generic drain did not use pop_batch_into"
+        assert custom == run()  # identical to the default wheel engine
+
+    def test_custom_scheduler_with_adversary(self):
+        """The generic drain's batch buffer must survive the adversarial
+        delivery branch (regression: a shadowed local crashed this path)."""
+        from repro.scenarios.adversary import LinkAdversary
+
+        class SubHeap(HeapScheduler):  # not exactly HeapScheduler -> generic
+            pass
+
+        def run(scheduler):
+            sim = Simulator(SimulatorConfig(seed=8))
+            if scheduler is not None:
+                sim.scheduler = scheduler
+            sim.install_adversary(
+                LinkAdversary(rng=sim.adversary_rng(), loss_rate=0.2))
+            nodes = [sim.add_node(_Pinger(i + 1)) for i in range(30)]
+            sim.run_rounds(15)
+            stats = sim.network.stats
+            return ([n.pings for n in nodes], sim.steps_executed,
+                    stats.total_delivered, stats.total_dropped)
+
+        custom = run(SubHeap())
+        assert custom[3] > 0, "adversary never dropped anything"
+        assert custom == run(None)  # parity with the fused wheel path
+    def test_spec_roundtrip_with_width(self):
+        spec = SystemSpec(seed=3, wheel_bucket_width=0.2)
+        assert SystemSpec.from_json(spec.to_json()) == spec
+        assert spec.sim_config().wheel_bucket_width == 0.2
+
+    def test_spec_inherits_width_from_sim(self):
+        spec = SystemSpec(sim=SimulatorConfig(wheel_bucket_width=0.4))
+        assert spec.wheel_bucket_width == 0.4
+        # the embedded config is neutralised back to None
+        assert spec.sim is None or spec.sim.wheel_bucket_width is None
+
+    def test_spec_conflicting_widths_raise(self):
+        with pytest.raises(ValueError, match="conflicting wheel bucket widths"):
+            SystemSpec(wheel_bucket_width=0.2,
+                       sim=SimulatorConfig(wheel_bucket_width=0.4))
+
+    def test_spec_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError, match="wheel_bucket_width"):
+            SystemSpec(wheel_bucket_width=-1.0)
+
+    def test_builder_exposes_knob(self):
+        from repro.api import PubSub
+        spec = PubSub.builder().wheel_bucket_width(0.2).seed(9).spec()
+        assert spec.wheel_bucket_width == 0.2
+        assert PubSub.builder().wheel_bucket_width(0.2) \
+            .wheel_bucket_width(None).spec().wheel_bucket_width is None
+
+
+class TestFailureDetectorCache:
+    def test_suspect_set_cached_per_time(self):
+        detector = FailureDetector(detection_lag=2.0)
+        detector.notify_crash(1, time=10.0)
+        detector.notify_crash(2, time=11.0)
+        assert not detector.suspects(1, now=11.9)
+        assert detector.suspects(1, now=12.0)
+        assert not detector.suspects(2, now=12.0)
+        assert detector.suspects(2, now=13.0)
+        # same time, repeated queries: served from the cached frozenset
+        assert detector._suspected_at(13.0) is detector._suspected_at(13.0)
+
+    def test_notify_crash_invalidates_cache(self):
+        """A zero-lag detector must suspect a node crashed at the exact time
+        the cache was last built for."""
+        detector = FailureDetector(detection_lag=0.0)
+        assert not detector.suspects(1, now=5.0)  # builds cache for t=5
+        detector.notify_crash(1, time=5.0)
+        assert detector.suspects(1, now=5.0)
+
+    def test_duplicate_notify_keeps_first_time(self):
+        detector = FailureDetector(detection_lag=1.0)
+        detector.notify_crash(1, time=10.0)
+        detector.notify_crash(1, time=50.0)
+        assert detector.suspects(1, now=11.0)
+
+    def test_in_simulation_detection_lag(self):
+        sim = Simulator(SimulatorConfig(seed=0, detection_lag=3.0))
+        sim.add_node(_Pinger(1), schedule_timeout=False)
+        sim.crash_node(1)
+        assert not sim.failure_detector.suspects(1)
+        sim.run_for(2.9)
+        assert not sim.failure_detector.suspects(1)
+        sim.run_for(0.2)
+        assert sim.failure_detector.suspects(1)
+
+
+class TestSlotsAndCompat:
+    def test_message_is_slotted(self):
+        msg = Message(action="A", params={}, sender=1, dest=2)
+        assert not hasattr(msg, "__dict__")
+        with pytest.raises(AttributeError):
+            msg.arbitrary_attribute = 1
+
+    def test_message_dataclass_replace_still_works(self):
+        from dataclasses import replace
+        msg = Message(action="A", params={"x": 1}, sender=1, dest=2)
+        copy = replace(msg, msg_id=7)
+        assert copy.msg_id == 7 and copy.action == "A" and copy.params == {"x": 1}
+
+    def test_protocol_node_base_is_slotted_but_subclasses_stay_open(self):
+        node = ProtocolNode(1)
+        assert not hasattr(node, "__dict__")
+        pinger = _Pinger(2)  # slotted subclass
+        assert not hasattr(pinger, "__dict__")
+
+        class AdHoc(ProtocolNode):  # no __slots__: regains a dict
+            pass
+
+        loose = AdHoc(3)
+        loose.anything = "fine"
+        assert loose.anything == "fine"
+
+    def test_timeout_counts_view_still_available(self):
+        sim = Simulator(SimulatorConfig(seed=1))
+        sim.add_node(_Pinger(1))
+        sim.add_node(_Pinger(2))
+        sim.run_rounds(5)
+        counts = sim.timeout_counts
+        assert set(counts) == {1, 2}
+        assert all(count >= 4 for count in counts.values())
+        assert sim.completed_timeout_intervals() == min(counts.values())
+
+    def test_topic_folded_into_params_reaches_handler(self):
+        sim = Simulator(SimulatorConfig(seed=2))
+        received = []
+
+        class TopicEcho(ProtocolNode):
+            __slots__ = ()
+
+            def on_Echo(self, value, topic=None):
+                received.append((value, topic))
+
+        sim.add_node(TopicEcho(1), schedule_timeout=False)
+        sim.add_node(TopicEcho(2), schedule_timeout=False)
+        sim.nodes[1].send(2, "Echo", topic="news", value=42)
+        sim.run_for(5.0)
+        assert received == [(42, "news")]

@@ -1,0 +1,105 @@
+"""Tests for the perf-regression harness bookkeeping (no benchmarks are
+actually executed here — the comparison and discovery logic is pure)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BENCH_CASES,
+    CURRENT_BENCH_ID,
+    QUICK_CASES,
+    compare_benchmarks,
+    find_previous_bench,
+    get_case,
+    load_bench,
+)
+from repro.perf.suite import Regression, bench_path, write_bench
+
+
+def _doc(cases, bench_id=CURRENT_BENCH_ID):
+    return {"schema": 1, "bench_id": bench_id,
+            "cases": {name: {"wall_seconds": wall} for name, wall in cases.items()}}
+
+
+class TestCompare:
+    def test_no_regressions_within_threshold(self):
+        baseline = _doc({"a": 1.0, "b": 2.0})
+        current = _doc({"a": 1.15, "b": 1.5})
+        assert compare_benchmarks(current, baseline, threshold=0.20) == []
+
+    def test_flags_regression_beyond_threshold(self):
+        baseline = _doc({"a": 1.0})
+        current = _doc({"a": 1.35})
+        regressions = compare_benchmarks(current, baseline, threshold=0.20)
+        assert [r.case for r in regressions] == ["a"]
+        assert regressions[0].ratio == pytest.approx(1.35)
+        assert "1.35" in str(regressions[0])
+
+    def test_new_and_missing_cases_are_not_regressions(self):
+        baseline = _doc({"a": 1.0, "gone": 1.0})
+        current = _doc({"a": 1.0, "brand_new": 99.0})
+        assert compare_benchmarks(current, baseline) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            compare_benchmarks(_doc({}), _doc({}), threshold=-0.1)
+
+    def test_regression_dataclass(self):
+        regression = Regression("x", baseline_wall=2.0, current_wall=3.0)
+        assert regression.ratio == pytest.approx(1.5)
+
+
+class TestBenchTrail:
+    def test_find_previous_bench_picks_highest_older_id(self, tmp_path):
+        for bench_id in (1, 2, 3, CURRENT_BENCH_ID):
+            write_bench(_doc({}, bench_id), bench_path(tmp_path, bench_id))
+        previous = find_previous_bench(tmp_path)
+        assert previous is not None and previous.name == "BENCH_3.json"
+
+    def test_find_previous_bench_empty(self, tmp_path):
+        assert find_previous_bench(tmp_path) is None
+        (tmp_path / "BENCH_notanumber.json").write_text("{}")
+        assert find_previous_bench(tmp_path) is None
+
+    def test_write_load_roundtrip(self, tmp_path):
+        doc = _doc({"a": 1.23})
+        path = bench_path(tmp_path)
+        write_bench(doc, path)
+        assert load_bench(path) == doc
+        assert path.name == f"BENCH_{CURRENT_BENCH_ID}.json"
+
+    def test_committed_bench_file_is_fresh_and_complete(self):
+        """BENCH_<current>.json must be committed at the repo root and cover
+        the full matrix (the acceptance artifact of this PR)."""
+        from pathlib import Path
+        root = Path(__file__).resolve().parents[1]
+        committed = root / f"BENCH_{CURRENT_BENCH_ID}.json"
+        assert committed.exists(), f"{committed.name} missing at repo root"
+        document = json.loads(committed.read_text())
+        assert document["bench_id"] == CURRENT_BENCH_ID
+        assert set(document["cases"]) == {case.name for case in BENCH_CASES}
+        for name, result in document["cases"].items():
+            assert result["wall_seconds"] > 0, name
+
+
+class TestCaseRegistry:
+    def test_matrix_covers_required_axes(self):
+        names = {case.name for case in BENCH_CASES}
+        assert {"core_2k_wheel", "core_2k_heap", "core_5k_wheel",
+                "core_5k_heap", "facade_single", "facade_sharded4",
+                "e11_sharded_scaling", "e12_scenarios"} <= names
+
+    def test_quick_subset_is_a_subset(self):
+        names = {case.name for case in BENCH_CASES}
+        assert set(QUICK_CASES) <= names
+
+    def test_get_case_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown bench case"):
+            get_case("definitely_not_a_case")
+
+    def test_descriptions_present(self):
+        for case in BENCH_CASES:
+            assert case.description
