@@ -1,0 +1,13 @@
+"""E13 — parallel sweep campaign through the execution layer (beyond the paper).
+
+Runs the loss-rate × shard-count demo sweep (:mod:`repro.exec.demo`) as a
+campaign and asserts the execution-layer guarantees: every grid point's
+scenario invariants hold, per-task seeds are derived deterministically and
+never collide, and the merged campaign artifact round-trips losslessly.
+"""
+
+from repro.experiments.experiments import e13_parallel_campaign
+
+
+def test_e13_parallel_campaign(report):
+    report(e13_parallel_campaign)

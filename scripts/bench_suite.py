@@ -45,9 +45,15 @@ def main(argv=None) -> int:
     parser.add_argument("--cases", help="comma-separated case subset")
     parser.add_argument("--repeats", type=int, default=3,
                         help="repeats per case, min wall time wins (default 3)")
-    parser.add_argument("--out", type=Path,
-                        default=bench_path(REPO_ROOT),
-                        help=f"output file (default BENCH_{CURRENT_BENCH_ID}.json)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="concurrent case subprocesses (default 1; "
+                             "parallel runs finish faster but contend for "
+                             "cores — keep 1 for baseline-comparable walls)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help=f"output file (default BENCH_{CURRENT_BENCH_ID}"
+                             ".json; --jobs > 1 defaults to "
+                             f"BENCH_{CURRENT_BENCH_ID}.jobs.json so "
+                             "contended walls never land on the trail)")
     parser.add_argument("--baseline", type=Path,
                         help="baseline BENCH_*.json to compare against "
                              "(default: highest-id previous BENCH_*.json at "
@@ -68,6 +74,15 @@ def main(argv=None) -> int:
 
     cases = args.cases.split(",") if args.cases else None
 
+    if args.out is None:
+        # Walls measured under contention (--jobs > 1) must never overwrite
+        # the committed BENCH_<id>.json trail by default — the trail is what
+        # the CI regression gate compares serial runs against.  The fallback
+        # name deliberately does not match the BENCH_(\d+).json pattern, so
+        # trail discovery ignores it.
+        args.out = bench_path(REPO_ROOT) if args.jobs <= 1 else \
+            REPO_ROOT / f"BENCH_{CURRENT_BENCH_ID}.jobs.json"
+
     def progress(name, result):
         eps = result.get("events_per_sec")
         rss = result.get("peak_rss_kb")
@@ -76,13 +91,23 @@ def main(argv=None) -> int:
               f"  {f'{rss / 1024:.0f} MiB' if rss else '-':>9s}")
 
     mode = "quick subset" if args.quick else "full matrix"
-    print(f"bench suite ({mode}, repeats={2 if args.quick else args.repeats}):")
+    print(f"bench suite ({mode}, repeats={2 if args.quick else args.repeats}, "
+          f"jobs={max(args.jobs, 1)}):")
     document = run_suite(cases=cases, repeats=args.repeats, quick=args.quick,
-                         progress=progress)
+                         progress=progress, jobs=args.jobs)
     write_bench(document, args.out)
     print(f"wrote {args.out}")
 
     if args.no_compare:
+        return 0
+    if args.jobs > 1 and args.baseline is None:
+        # Concurrent cases contend for cores, so these walls are not
+        # comparable to a serially-measured baseline; don't let them fail
+        # (or silently seed) the regression trail.  An explicit --baseline
+        # states the user knows what they are comparing.
+        print(f"jobs={args.jobs}: walls measured under contention; skipping "
+              "the regression gate (pass --baseline to compare anyway, or "
+              "re-measure with --jobs 1)")
         return 0
     baseline_path = args.baseline or find_previous_bench(REPO_ROOT)
     if baseline_path is None:

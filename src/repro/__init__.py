@@ -25,7 +25,15 @@ Strothmann, *Self-Stabilizing Supervised Publish-Subscribe Systems* (2018):
   JSON-round-trippable :class:`~repro.api.spec.SystemSpec`, a fluent
   ``PubSub.builder()``, typed lifecycle hooks (``system.hooks``) and one
   :class:`~repro.api.report.RunReport` result object — the single front door
-  every experiment, scenario, benchmark and example goes through.
+  every experiment, scenario, benchmark and example goes through,
+* a **parallel execution layer** (:mod:`repro.exec`): generic inline /
+  process-pool backends with per-task fresh-interpreter isolation,
+  declarative :class:`~repro.exec.sweep.SweepSpec` parameter grids with
+  deterministically derived per-task seeds, and a
+  :class:`~repro.exec.campaign.CampaignRunner` that merges the results into
+  byte-reproducible campaign artifacts (``python -m repro.exec``); every
+  ``--jobs N`` flag in the tree (benchmarks, experiments, scenarios) fans
+  out through it.
 
 Quickstart
 ----------
@@ -67,8 +75,9 @@ from repro.api import (
     build_stable,
     build_system,
 )
+from repro.exec import CampaignReport, CampaignRunner, SweepSpec, run_campaign
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ProtocolParams",
@@ -98,5 +107,9 @@ __all__ = [
     "build_stable",
     "HookRegistry",
     "RunReport",
+    "SweepSpec",
+    "CampaignReport",
+    "CampaignRunner",
+    "run_campaign",
     "__version__",
 ]

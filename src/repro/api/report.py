@@ -94,6 +94,24 @@ class RunReport:
             return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunReport":
+        """Rebuild a report from :meth:`to_dict` output (``passed`` is
+        derived, so it is recomputed rather than read).  This is how reports
+        cross the :mod:`repro.exec` process boundary."""
+        return cls(
+            name=data["name"],
+            title=data.get("title", ""),
+            headers=list(data.get("headers") or []),
+            rows=[list(row) for row in data.get("rows") or []],
+            claims=dict(data.get("claims") or {}),
+            metadata=dict(data.get("metadata") or {}),
+            message_stats={label: dict(stats) for label, stats
+                           in (data.get("message_stats") or {}).items()},
+            wall_seconds=data.get("wall_seconds"),
+            scenario=data.get("scenario"),
+        )
+
     # ------------------------------------------------------------- converters
     @classmethod
     def from_scenario(cls, report) -> "RunReport":

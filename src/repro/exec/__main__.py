@@ -1,0 +1,8 @@
+"""``python -m repro.exec`` — the sweep/campaign CLI (see repro.exec.cli)."""
+
+import sys
+
+from repro.exec.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

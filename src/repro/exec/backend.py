@@ -1,0 +1,172 @@
+"""Generic execution backends: run named tasks inline or across CPU cores.
+
+A *task* is a :class:`TaskSpec`: a dotted reference to a task function
+(``"package.module:function"``) plus a JSON-safe payload dict.  Task
+functions live in :mod:`repro.exec.tasks` (or anywhere importable) and
+return a JSON-safe dict.  Keeping tasks nameable and payloads serializable
+is what lets the same task run in-process or in a fresh interpreter.
+
+Two backends implement the same contract:
+
+* :class:`InlineBackend` — run every task serially in this process;
+* :class:`ProcessPoolBackend` — run up to ``jobs`` tasks concurrently,
+  **each in its own fresh interpreter** (``python -m repro.exec.worker``).
+  Per-task subprocess isolation is generalized from the perf suite's
+  ``case_runner``: no warm caches leak between tasks, and process-wide
+  measurements (peak RSS) genuinely belong to one task.
+
+Backend choice never changes results: both backends canonicalize every
+result through a JSON round-trip (sorted keys), so a result dict has the
+same key order and value types whether it crossed a process boundary or
+not.  ``backend.run`` returns results in *task submission order* regardless
+of completion order; the optional progress callback streams completions as
+they happen.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+#: ``progress(task, result, done, total)`` — invoked once per finished task,
+#: in completion order (== submission order on the inline backend).
+ProgressFn = Callable[["TaskSpec", Dict[str, Any], int, int], None]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One named unit of work: a task-function reference plus its payload."""
+
+    task_id: str
+    fn: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise ValueError("task_id must be non-empty")
+        if ":" not in self.fn:
+            raise ValueError(
+                f"task fn must be 'package.module:function', got {self.fn!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"task_id": self.task_id, "fn": self.fn,
+                "payload": dict(self.payload)}
+
+
+def resolve_task_fn(ref: str) -> Callable[[Dict[str, Any]], Dict[str, Any]]:
+    """Import and return the task function named by ``"module:function"``."""
+    module_name, _, fn_name = ref.partition(":")
+    if not module_name or not fn_name:
+        raise ValueError(
+            f"task fn must be 'package.module:function', got {ref!r}")
+    module = importlib.import_module(module_name)
+    fn = getattr(module, fn_name, None)
+    if not callable(fn):
+        raise ValueError(f"{ref!r} does not name a callable task function")
+    return fn
+
+
+def canonicalize(result: Dict[str, Any]) -> Dict[str, Any]:
+    """Normalize a task result exactly as a process boundary would: JSON
+    round-trip with sorted keys.  Tuples become lists, dict keys become
+    strings in sorted order — identical no matter which backend ran the
+    task."""
+    return json.loads(json.dumps(result, sort_keys=True))
+
+
+def worker_env() -> Dict[str, str]:
+    """Child-process environment with this tree's ``repro`` importable."""
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_root if not existing else \
+        src_root + os.pathsep + existing
+    return env
+
+
+class ExecBackend:
+    """Contract shared by all backends (see module docstring)."""
+
+    def run(self, tasks: Sequence[TaskSpec],
+            progress: Optional[ProgressFn] = None) -> List[Dict[str, Any]]:
+        raise NotImplementedError
+
+
+class InlineBackend(ExecBackend):
+    """Run every task serially in this process (``--jobs 1``)."""
+
+    def run(self, tasks: Sequence[TaskSpec],
+            progress: Optional[ProgressFn] = None) -> List[Dict[str, Any]]:
+        tasks = list(tasks)
+        results: List[Dict[str, Any]] = []
+        for index, task in enumerate(tasks):
+            fn = resolve_task_fn(task.fn)
+            result = canonicalize(fn(dict(task.payload)))
+            results.append(result)
+            if progress is not None:
+                progress(task, result, index + 1, len(tasks))
+        return results
+
+
+class ProcessPoolBackend(ExecBackend):
+    """Run up to ``jobs`` tasks concurrently, each in a fresh interpreter.
+
+    Concurrency is managed with a thread pool whose workers each drive one
+    ``python -m repro.exec.worker`` subprocess to completion, so every task
+    gets per-process isolation while the parent stays a single process.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+
+    def run_one(self, task: TaskSpec) -> Dict[str, Any]:
+        """Run one task in a fresh interpreter and return its result dict."""
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.exec.worker"],
+            input=json.dumps(task.to_dict()),
+            capture_output=True, text=True, env=worker_env())
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"task {task.task_id!r} ({task.fn}) failed "
+                f"(exit {proc.returncode}):\n{proc.stderr.strip()}")
+        return json.loads(proc.stdout)
+
+    def run(self, tasks: Sequence[TaskSpec],
+            progress: Optional[ProgressFn] = None) -> List[Dict[str, Any]]:
+        tasks = list(tasks)
+        results: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+        done = 0
+        pool = ThreadPoolExecutor(max_workers=self.jobs)
+        try:
+            futures = {pool.submit(self.run_one, task): index
+                       for index, task in enumerate(tasks)}
+            for future in as_completed(futures):
+                index = futures[future]
+                results[index] = future.result()
+                done += 1
+                if progress is not None:
+                    progress(tasks[index], results[index], done, len(tasks))
+        except BaseException:
+            # Fail fast: drop every not-yet-started task instead of letting
+            # the rest of the batch run to completion behind the error.
+            pool.shutdown(wait=True, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
+        return results  # type: ignore[return-value]
+
+
+def backend_for_jobs(jobs: int = 1) -> ExecBackend:
+    """The conventional mapping every ``--jobs N`` flag uses: 1 means inline
+    (no subprocess overhead), anything larger means a process pool."""
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    return InlineBackend() if jobs == 1 else ProcessPoolBackend(jobs=jobs)

@@ -1,0 +1,144 @@
+"""Fan a :class:`~repro.exec.sweep.SweepSpec` out and merge the results.
+
+:class:`CampaignRunner` expands a sweep into tasks, dispatches them through
+an execution backend (inline or process pool — ``--jobs N``), streams
+per-task progress, and merges every task's
+:class:`~repro.api.report.RunReport` into one :class:`CampaignReport`.
+
+The campaign artifact is **byte-reproducible**: same sweep + same master
+seed ⇒ identical ``to_json`` bytes, at any ``--jobs`` value.  Three rules
+make that hold: per-task seeds are derived from coordinates (not schedule),
+every result crosses the backend's canonical JSON boundary (so inline and
+subprocess runs agree on structure), and wall-clock values are scrubbed
+from the merged reports (walls are streamed to the progress callback
+instead — they belong to the console, not the artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.exec.backend import (
+    ExecBackend,
+    TaskSpec,
+    backend_for_jobs,
+)
+from repro.exec.sweep import SweepSpec, SweepTask
+
+#: ``progress(task, report_dict, done, total)`` with ``task`` a
+#: :class:`SweepTask`; invoked in completion order.
+CampaignProgressFn = Callable[[SweepTask, Dict[str, Any], int, int], None]
+
+#: Dotted reference of the task function every sweep point runs.
+SCENARIO_TASK_FN = "repro.exec.tasks:run_scenario_task"
+
+
+@dataclass
+class CampaignReport:
+    """Merged result of one campaign: the sweep, and one entry per task
+    (axis coordinates + derived seed + the task's full ``RunReport`` dict).
+
+    ``to_json`` is canonical (sorted keys, compact separators) and contains
+    no wall-clock values, so identical campaigns produce identical bytes.
+    """
+
+    name: str
+    master_seed: int
+    sweep: Dict[str, Any]
+    tasks: List[Dict[str, Any]] = field(default_factory=list)
+    schema: int = 1
+
+    @property
+    def passed(self) -> bool:
+        return all(entry["report"]["passed"] for entry in self.tasks)
+
+    @property
+    def failed_tasks(self) -> List[str]:
+        return [entry["task_id"] for entry in self.tasks
+                if not entry["report"]["passed"]]
+
+    def claims(self) -> Dict[str, bool]:
+        """Flat ``task_id -> all invariants hold`` map."""
+        return {entry["task_id"]: bool(entry["report"]["passed"])
+                for entry in self.tasks}
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "name": self.name,
+            "master_seed": self.master_seed,
+            "sweep": self.sweep,
+            "tasks": [dict(entry) for entry in self.tasks],
+            "passed": self.passed,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        if indent is not None:
+            return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignReport":
+        return cls(name=data["name"], master_seed=data["master_seed"],
+                   sweep=dict(data["sweep"]),
+                   tasks=[dict(entry) for entry in data.get("tasks", [])],
+                   schema=data.get("schema", 1))
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignReport":
+        return cls.from_dict(json.loads(text))
+
+
+class CampaignRunner:
+    """Expand a sweep, fan its tasks out, merge the reports."""
+
+    def __init__(self, sweep: SweepSpec, jobs: int = 1,
+                 backend: Optional[ExecBackend] = None) -> None:
+        self.sweep = sweep
+        self.backend = backend if backend is not None else backend_for_jobs(jobs)
+
+    def task_specs(self, tasks: Optional[List[SweepTask]] = None) -> List[TaskSpec]:
+        """The backend tasks this campaign dispatches, in sweep order."""
+        specs: List[TaskSpec] = []
+        for task in tasks if tasks is not None else self.sweep.expand():
+            scenario = self.sweep.scenario_for(task)
+            specs.append(TaskSpec(
+                task_id=task.task_id,
+                fn=SCENARIO_TASK_FN,
+                payload={
+                    "spec": scenario.to_dict(),
+                    "system": self.sweep.system_for(task, scenario).to_dict(),
+                    "seed": task.seed,
+                    "scheduler": task.scheduler,
+                }))
+        return specs
+
+    def run(self, progress: Optional[CampaignProgressFn] = None) -> CampaignReport:
+        tasks = self.sweep.expand()
+        by_id = {task.task_id: task for task in tasks}
+
+        def on_result(spec: TaskSpec, result: Dict[str, Any],
+                      done: int, total: int) -> None:
+            if progress is not None:
+                progress(by_id[spec.task_id], result, done, total)
+
+        results = self.backend.run(self.task_specs(tasks), progress=on_result)
+        entries = []
+        for task, report in zip(tasks, results):
+            report = dict(report)
+            # Walls are machine noise; the artifact must be byte-reproducible.
+            report["wall_seconds"] = None
+            entries.append({**task.to_dict(), "report": report})
+        return CampaignReport(name=self.sweep.name,
+                              master_seed=self.sweep.master_seed,
+                              sweep=self.sweep.to_dict(), tasks=entries)
+
+
+def run_campaign(sweep: SweepSpec, jobs: int = 1,
+                 progress: Optional[CampaignProgressFn] = None) -> CampaignReport:
+    """Convenience wrapper: expand, dispatch across ``jobs`` cores, merge."""
+    return CampaignRunner(sweep, jobs=jobs).run(progress=progress)

@@ -1,0 +1,118 @@
+"""Command-line campaign runner for the execution layer.
+
+::
+
+    python -m repro.exec --list-demos
+    python -m repro.exec --demo e13-loss-shards --jobs 4
+    python -m repro.exec --demo e13-loss-shards --print-spec > sweep.json
+    python -m repro.exec --spec sweep.json --jobs 8 --out campaign.json
+
+Also installed as the ``repro-sweep`` console script.  ``--jobs 1`` runs
+inline, ``--jobs N`` fans tasks across N worker processes; the written
+campaign artifact is byte-identical either way.  Exit status is 0 iff every
+task's invariants held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.exec.campaign import CampaignReport, CampaignRunner
+from repro.exec.demo import DEMO_SWEEPS, get_demo_sweep
+from repro.exec.sweep import SweepSpec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="Expand a declarative parameter sweep over the pub-sub "
+                    "system and run it as a campaign across CPU cores "
+                    "(see repro.exec).")
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--spec", metavar="FILE",
+                        help="run the SweepSpec JSON in FILE")
+    source.add_argument("--demo", metavar="NAME",
+                        help="run a built-in demo sweep (see --list-demos)")
+    parser.add_argument("--list-demos", action="store_true",
+                        help="list the built-in demo sweeps and exit")
+    parser.add_argument("--print-spec", action="store_true",
+                        help="print the selected sweep's JSON and exit "
+                             "(scaffold for custom --spec files)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed for --demo sweeps (default 0); "
+                             "--spec files carry their own")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1 = inline; the "
+                             "campaign artifact is byte-identical either way)")
+    parser.add_argument("--out", type=Path, metavar="FILE",
+                        help="write the campaign artifact JSON to FILE")
+    parser.add_argument("--json", action="store_true",
+                        help="print the campaign artifact as canonical JSON "
+                             "instead of the summary table")
+    return parser
+
+
+def _summary(report: CampaignReport) -> str:
+    from repro.experiments.report import format_table
+
+    rows = []
+    for entry in report.tasks:
+        scenario = entry["report"].get("scenario") or {}
+        rows.append((entry["task_id"], scenario.get("subscribers_initial", "-"),
+                     scenario.get("shards", "-"), len(scenario.get("phases", [])),
+                     "PASS" if entry["report"]["passed"] else "FAIL"))
+    table = format_table(["task", "n", "shards", "phases", "verdict"], rows)
+    verdict = "PASS" if report.passed else \
+        f"FAIL ({', '.join(report.failed_tasks)})"
+    return (f"campaign {report.name!r} (master seed {report.master_seed}, "
+            f"{len(report.tasks)} tasks)\n\n{table}\n\nresult: {verdict}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_demos:
+        for name, factory in DEMO_SWEEPS.items():
+            sweep = factory(0)
+            blurb = ((factory.__doc__ or "").strip().splitlines() or [""])[0]
+            print(f"{name:22s} {len(sweep.expand()):3d} tasks   {blurb}")
+        return 0
+
+    if args.spec:
+        sweep = SweepSpec.from_json(Path(args.spec).read_text())
+    elif args.demo:
+        try:
+            sweep = get_demo_sweep(args.demo, seed=args.seed)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    else:
+        build_parser().print_help()
+        return 2
+
+    if args.print_spec:
+        print(sweep.to_json(indent=2))
+        return 0
+
+    total = len(sweep.expand())
+    print(f"sweep {sweep.name!r}: {total} tasks, master seed "
+          f"{sweep.master_seed}, jobs={args.jobs}", file=sys.stderr)
+
+    def progress(task, report, done, _total):
+        verdict = "PASS" if report["passed"] else "FAIL"
+        print(f"  [{done}/{total}] {task.task_id:40s} {verdict}",
+              file=sys.stderr)
+
+    report = CampaignRunner(sweep, jobs=max(args.jobs, 1)).run(progress=progress)
+    if args.out:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(report.to_json(indent=2) + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    print(report.to_json() if args.json else _summary(report))
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

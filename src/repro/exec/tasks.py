@@ -1,0 +1,116 @@
+"""Task functions runnable by any :mod:`repro.exec` backend.
+
+Every function here takes one JSON-safe payload dict and returns one
+JSON-safe result dict, so it can run in-process
+(:class:`~repro.exec.backend.InlineBackend`) or in a fresh interpreter
+(:class:`~repro.exec.backend.ProcessPoolBackend`) with identical results.
+Imports happen inside the functions: a worker process only pays for the
+subsystem its task actually uses.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+
+def echo(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Diagnostic task: return the payload unchanged (backend plumbing
+    tests and ``repro-sweep --selftest``-style checks)."""
+    return {"echo": dict(payload)}
+
+
+def run_scenario_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one adversarial scenario; return the unified
+    :class:`~repro.api.report.RunReport` dict (the full
+    :class:`~repro.scenarios.runner.ScenarioReport` dict rides along under
+    its ``"scenario"`` key, losslessly).
+
+    Payload keys
+    ------------
+    spec:
+        A :class:`~repro.scenarios.spec.ScenarioSpec` dict, or a built-in
+        scenario name from :mod:`repro.scenarios.library`.
+    seed / scheduler:
+        Passed through to the runner (defaults 0 / ``"wheel"``).
+    system:
+        Optional :class:`~repro.api.spec.SystemSpec` dict.  When given, the
+        facade is built from it and injected into the runner — this is how
+        sweeps forward protocol/simulator knobs from their base spec that a
+        bare ``ScenarioSpec`` does not carry.
+    """
+    from repro.api.report import RunReport
+    from repro.scenarios.runner import ScenarioRunner
+    from repro.scenarios.spec import ScenarioSpec
+
+    raw_spec = payload["spec"]
+    if isinstance(raw_spec, str):
+        from repro.scenarios.library import get_scenario
+        spec = get_scenario(raw_spec)
+    else:
+        spec = ScenarioSpec.from_dict(raw_spec)
+    seed = int(payload.get("seed", 0))
+    scheduler = payload.get("scheduler", "wheel")
+
+    system = None
+    if payload.get("system") is not None:
+        from repro.api.builder import build_system
+        from repro.api.spec import SystemSpec
+        system = build_system(SystemSpec.from_dict(payload["system"]))
+
+    runner = ScenarioRunner(spec, seed=seed, scheduler=scheduler, system=system)
+    return RunReport.from_scenario(runner.run()).to_dict()
+
+
+def run_experiment_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one experiment from :data:`repro.experiments.ALL_EXPERIMENTS`
+    (payload: ``{"experiment": "E1", "kwargs": {...}}``) and return its
+    :class:`~repro.api.report.RunReport` dict with the wall time stamped."""
+    from repro.experiments.experiments import ALL_EXPERIMENTS
+    from repro.experiments.runner import run_experiment
+
+    key = payload["experiment"]
+    try:
+        fn = ALL_EXPERIMENTS[key]
+    except KeyError:
+        known = ", ".join(ALL_EXPERIMENTS)
+        raise KeyError(f"unknown experiment {key!r}; known: {known}") from None
+    return run_experiment(fn, **dict(payload.get("kwargs") or {})).to_dict()
+
+
+def run_bench_case(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Measure one perf bench case (payload: ``{"case": name, "repeats": n}``).
+
+    This is the measurement loop the perf suite always ran in its per-case
+    subprocess: min wall time over N repeats plus the process-wide peak-RSS
+    high-water mark — which is only honest when the task runs through
+    :class:`~repro.exec.backend.ProcessPoolBackend`, one fresh interpreter
+    per case.
+    """
+    from repro.perf.cases import get_case
+
+    name = payload["case"]
+    repeats = max(int(payload.get("repeats", 1)), 1)
+    case = get_case(name)
+    walls = []
+    events = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        events, result_payload = case.run()
+        walls.append(time.perf_counter() - start)
+        del result_payload
+    try:
+        import resource
+        peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except ImportError:  # pragma: no cover - non-POSIX
+        peak_rss_kb = None
+    wall = min(walls)  # min is the stable statistic on noisy machines
+    return {
+        "name": name,
+        "description": case.description,
+        "wall_seconds": round(wall, 4),
+        "wall_seconds_all": [round(w, 4) for w in walls],
+        "events": events,
+        "events_per_sec": round(events / wall) if events else None,
+        "peak_rss_kb": peak_rss_kb,
+    }

@@ -9,9 +9,14 @@ deprecated alias of ``RunReport``.
 """
 
 from repro.api.report import RunReport
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import (
+    ExperimentResult,
+    run_experiment,
+    run_experiment_campaign,
+)
 from repro.experiments.report import format_table, render_result
 from repro.experiments import experiments
 
-__all__ = ["RunReport", "ExperimentResult", "run_experiment", "format_table",
-           "render_result", "experiments"]
+__all__ = ["RunReport", "ExperimentResult", "run_experiment",
+           "run_experiment_campaign", "format_table", "render_result",
+           "experiments"]

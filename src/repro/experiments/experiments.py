@@ -1,4 +1,4 @@
-"""Experiment implementations E1–E12 and ablations A1–A3 (see DESIGN.md).
+"""Experiment implementations E1–E13 and ablations A1–A3 (see DESIGN.md).
 
 Every function returns a :class:`~repro.api.report.RunReport` containing the
 table the corresponding benchmark prints, plus explicit pass/fail flags for
@@ -583,6 +583,56 @@ def e12_adversarial_scenarios(seed: int = 5) -> RunReport:
     return result
 
 
+# -------------------------------------------------------------------------- E13
+def e13_parallel_campaign(seed: int = 0, jobs: int = 1) -> RunReport:
+    """E13: a sweep campaign over a loss-rate × shard-count grid through the
+    parallel execution layer (:mod:`repro.exec`).
+
+    Every task is one synthesized disruption window (12 subscribers,
+    publications under link loss) against the single-supervisor facade and
+    the sharded-4 cluster; per-task seeds are derived deterministically from
+    the master seed, and the merged campaign artifact is byte-reproducible
+    at any ``jobs`` value.
+    """
+    from repro.exec.campaign import CampaignReport, CampaignRunner
+    from repro.exec.demo import e13_loss_shards
+
+    sweep = e13_loss_shards(seed=seed)
+    campaign = CampaignRunner(sweep, jobs=jobs).run()
+
+    result = RunReport(
+        name="E13",
+        title="Parallel campaign: loss-rate × shard-count sweep via repro.exec",
+        headers=["task", "n", "shards", "loss", "relegit rounds",
+                 "pubs ok/issued", "verdict"],
+    )
+    for entry in campaign.tasks:
+        report = entry["report"]
+        scenario = report["scenario"]
+        phase = scenario["phases"][0]
+        result.add_row(
+            entry["task_id"], scenario["subscribers_initial"],
+            scenario["shards"], f"{entry['loss_rate']:g}",
+            phase["relegitimize_rounds"],
+            f"{phase['publications_surviving']}/{phase['publications_issued']}",
+            "PASS" if report["passed"] else "FAIL")
+        result.claim(f"{entry['task_id']}: all scenario invariants hold",
+                     report["passed"])
+
+    task_seeds = [entry["seed"] for entry in campaign.tasks]
+    result.claim("distinct tasks derive distinct seeds",
+                 len(set(task_seeds)) == len(task_seeds))
+    result.claim("re-expanding the sweep derives identical per-task seeds",
+                 [t.seed for t in e13_loss_shards(seed=seed).expand()]
+                 == task_seeds)
+    result.claim("campaign artifact JSON round-trips losslessly",
+                 CampaignReport.from_json(campaign.to_json()).to_json()
+                 == campaign.to_json())
+    result.metadata.update({"seed": seed, "tasks": len(campaign.tasks),
+                            "sweep": campaign.name})
+    return result
+
+
 # ------------------------------------------------------------------ ablations
 def a1_ablation_integration(n: int = 16, seeds: Sequence[int] = (0, 1),
                             max_rounds: int = 1_500) -> RunReport:
@@ -683,6 +733,7 @@ ALL_EXPERIMENTS = {
     "E10": e10_broker_comparison,
     "E11": e11_sharded_scaling,
     "E12": e12_adversarial_scenarios,
+    "E13": e13_parallel_campaign,
     "A1": a1_ablation_integration,
     "A2": a2_ablation_minimal_request,
     "A3": a3_ablation_flooding,

@@ -1,9 +1,14 @@
-"""Experiment result records and a tiny runner.
+"""Experiment result records and the experiment runners.
 
 The result type of the experiment harness is
 :class:`~repro.api.report.RunReport` (the unified API's single result
-object).  :class:`ExperimentResult` remains as a thin deprecation shim so
-old call sites keep working — it *is* a ``RunReport`` under its historical
+object).  :func:`run_experiment` runs one experiment in-process;
+:func:`run_experiment_campaign` fans any subset of
+:data:`~repro.experiments.experiments.ALL_EXPERIMENTS` out through the
+:mod:`repro.exec` backends (``jobs=1`` inline, ``jobs>1`` one fresh worker
+process per experiment) with backend-independent, byte-identical reports.
+:class:`ExperimentResult` remains as a thin deprecation shim so old call
+sites keep working — it *is* a ``RunReport`` under its historical
 constructor signature.
 """
 
@@ -11,7 +16,7 @@ from __future__ import annotations
 
 import time
 import warnings
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.api.report import RunReport
 
@@ -47,3 +52,37 @@ def run_experiment(fn: Callable[..., RunReport], *args, **kwargs) -> RunReport:
     if result.wall_seconds is None:
         result.wall_seconds = round(time.perf_counter() - start, 3)
     return result
+
+
+def run_experiment_campaign(keys: Optional[Sequence[str]] = None,
+                            jobs: int = 1,
+                            progress=None) -> Dict[str, RunReport]:
+    """Run experiments (default: all of ``ALL_EXPERIMENTS``) as a campaign
+    over the :mod:`repro.exec` backends and return ``key -> RunReport`` in
+    request order.
+
+    ``jobs=1`` runs inline, ``jobs>1`` fans out across worker processes —
+    either way every report crosses the backend's canonical JSON boundary,
+    so the returned reports (and anything rendered from them, e.g.
+    EXPERIMENTS.md) are byte-identical at any job count.  ``progress`` is an
+    optional ``callable(key, report, done, total)`` streamed in completion
+    order; only its wall times vary between runs.
+    """
+    from repro.exec.backend import TaskSpec, backend_for_jobs
+    from repro.experiments.experiments import ALL_EXPERIMENTS
+
+    selected = list(keys) if keys is not None else list(ALL_EXPERIMENTS)
+    unknown = [key for key in selected if key not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown}; "
+                       f"known: {', '.join(ALL_EXPERIMENTS)}")
+    tasks = [TaskSpec(task_id=key, fn="repro.exec.tasks:run_experiment_task",
+                      payload={"experiment": key}) for key in selected]
+
+    def on_result(task, result, done, total):
+        if progress is not None:
+            progress(task.task_id, RunReport.from_dict(result), done, total)
+
+    results = backend_for_jobs(jobs).run(tasks, progress=on_result)
+    return {key: RunReport.from_dict(result)
+            for key, result in zip(selected, results)}

@@ -4,9 +4,13 @@ Usage (normally via :func:`repro.perf.suite.run_suite`)::
 
     python -m repro.perf.case_runner core_2k_wheel --repeats 3
 
-Running each case in a fresh interpreter keeps measurements honest: no
-warm caches or leftover garbage from earlier cases, and the process-wide
-peak-RSS high-water mark (``getrusage``) genuinely belongs to the case.
+Since the :mod:`repro.exec` layer landed, this module is a thin shim: the
+measurement loop lives in :func:`repro.exec.tasks.run_bench_case` and the
+suite dispatches cases through
+:class:`~repro.exec.backend.ProcessPoolBackend` (``python -m
+repro.exec.worker``), which generalizes the per-case fresh-interpreter
+isolation this runner pioneered.  The CLI remains for running one case by
+hand.
 """
 
 from __future__ import annotations
@@ -14,35 +18,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 
 
 def measure(name: str, repeats: int) -> dict:
-    from repro.perf.cases import get_case
+    from repro.exec.tasks import run_bench_case
 
-    case = get_case(name)
-    walls = []
-    events = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        events, payload = case.run()
-        walls.append(time.perf_counter() - start)
-        del payload
-    try:
-        import resource
-        peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    except ImportError:  # pragma: no cover - non-POSIX
-        peak_rss_kb = None
-    wall = min(walls)  # min is the stable statistic on noisy machines
-    return {
-        "name": name,
-        "description": case.description,
-        "wall_seconds": round(wall, 4),
-        "wall_seconds_all": [round(w, 4) for w in walls],
-        "events": events,
-        "events_per_sec": round(events / wall) if events else None,
-        "peak_rss_kb": peak_rss_kb,
-    }
+    return run_bench_case({"case": name, "repeats": repeats})
 
 
 def main(argv=None) -> int:

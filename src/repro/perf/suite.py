@@ -17,16 +17,14 @@ measured on the same machine.  The regression check therefore compares
 from __future__ import annotations
 
 import json
-import os
 import platform
 import re
-import subprocess
-import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.exec.backend import ProcessPoolBackend, TaskSpec
 from repro.perf.cases import BENCH_CASES, QUICK_CASES, get_case
 
 #: Id of the bench file this tree writes (bumped by PRs that re-measure).
@@ -55,33 +53,21 @@ class Regression:
                 f"{self.current_wall:.3f}s ({self.ratio:.2f}x)")
 
 
-def _case_env() -> Dict[str, str]:
-    """Child-process environment with this tree's ``repro`` importable."""
-    env = dict(os.environ)
-    src_root = str(Path(__file__).resolve().parents[2])
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = src_root if not existing else \
-        src_root + os.pathsep + existing
-    return env
+def _case_task(name: str, repeats: int) -> TaskSpec:
+    """The execution-layer task measuring one bench case."""
+    get_case(name)  # fail fast on unknown names, before paying a subprocess
+    return TaskSpec(task_id=name, fn="repro.exec.tasks:run_bench_case",
+                    payload={"case": name, "repeats": repeats})
 
 
 def run_case_subprocess(name: str, repeats: int = 1) -> Dict[str, object]:
-    """Run one case via :mod:`repro.perf.case_runner` in a fresh interpreter."""
-    get_case(name)  # fail fast on unknown names, before paying a subprocess
-    proc = subprocess.run(
-        [sys.executable, "-m", "repro.perf.case_runner", name,
-         "--repeats", str(repeats)],
-        capture_output=True, text=True, env=_case_env())
-    if proc.returncode != 0:
-        raise RuntimeError(
-            f"bench case {name!r} failed (exit {proc.returncode}):\n"
-            f"{proc.stderr.strip()}")
-    return json.loads(proc.stdout)
+    """Run one case in a fresh interpreter via the execution layer."""
+    return ProcessPoolBackend(jobs=1).run([_case_task(name, repeats)])[0]
 
 
 def run_suite(cases: Optional[Iterable[str]] = None, repeats: int = 3,
               quick: bool = False,
-              progress=None) -> Dict[str, object]:
+              progress=None, jobs: int = 1) -> Dict[str, object]:
     """Execute the matrix and return the bench document (not yet written).
 
     ``quick`` selects :data:`~repro.perf.cases.QUICK_CASES` with two repeats
@@ -89,18 +75,30 @@ def run_suite(cases: Optional[Iterable[str]] = None, repeats: int = 3,
     single repeat would report as regressions) — the CI shape.  ``progress``
     is an optional ``callable(case_name, result)`` invoked after each case
     (the CLI prints a table line from it).
+
+    Every case always runs in its own fresh interpreter
+    (:class:`~repro.exec.backend.ProcessPoolBackend` — the isolation the
+    measurements rely on); ``jobs`` only sets how many run concurrently.
+    ``jobs > 1`` finishes the matrix much faster but lets cases contend for
+    cores, so keep the serial default for wall times meant to be compared
+    against a committed baseline.
     """
     if quick:
         selected: Sequence[str] = tuple(cases) if cases else QUICK_CASES
         repeats = 2
     else:
         selected = tuple(cases) if cases else tuple(c.name for c in BENCH_CASES)
-    results: Dict[str, Dict[str, object]] = {}
-    for name in selected:
-        result = run_case_subprocess(name, repeats=repeats)
-        results[name] = {k: v for k, v in result.items() if k != "name"}
+    backend = ProcessPoolBackend(jobs=max(jobs, 1))
+    tasks = [_case_task(name, repeats) for name in selected]
+
+    def on_result(task, result, done, total):
         if progress is not None:
-            progress(name, result)
+            progress(task.task_id, result)
+
+    raw = backend.run(tasks, progress=on_result)
+    results: Dict[str, Dict[str, object]] = {
+        name: {k: v for k, v in result.items() if k != "name"}
+        for name, result in zip(selected, raw)}
     return {
         "schema": 1,
         "bench_id": CURRENT_BENCH_ID,
@@ -120,6 +118,7 @@ def run_suite(cases: Optional[Iterable[str]] = None, repeats: int = 3,
         "platform": platform.platform(),
         "quick": quick,
         "repeats": repeats,
+        "jobs": max(jobs, 1),
         "cases": results,
     }
 

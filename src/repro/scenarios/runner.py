@@ -94,6 +94,16 @@ class PhaseReport:
             "passed": self.passed,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PhaseReport":
+        """Rebuild from :meth:`to_dict` output (``passed`` is derived and
+        recomputed)."""
+        payload = {key: value for key, value in data.items() if key != "passed"}
+        payload["disruptions"] = list(payload.get("disruptions") or [])
+        payload["drops"] = dict(payload.get("drops") or {})
+        payload["invariants"] = dict(payload.get("invariants") or {})
+        return cls(**payload)
+
 
 @dataclass
 class ScenarioReport:
@@ -144,6 +154,17 @@ class ScenarioReport:
         if indent is not None:
             return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioReport":
+        """Rebuild from :meth:`to_dict` output — the inverse the scenario CLI
+        uses when reports arrive from :mod:`repro.exec` worker processes.
+        ``to_dict(from_dict(d)) == d`` for any dict ``to_dict`` produced."""
+        payload = {key: value for key, value in data.items() if key != "passed"}
+        payload["topics"] = list(payload.get("topics") or [])
+        payload["phases"] = [PhaseReport.from_dict(p)
+                             for p in payload.get("phases") or []]
+        return cls(**payload)
 
     def to_run_report(self) -> RunReport:
         """This report as a unified :class:`~repro.api.report.RunReport`

@@ -30,7 +30,7 @@ from repro.sim.scheduler import (
     make_scheduler,
 )
 from repro.sim.tracing import Tracer, TraceEvent
-from repro.sim.rng import BatchedUniform, derive_rng, spawn_seeds
+from repro.sim.rng import BatchedUniform, derive_rng, derive_seed, spawn_seeds
 
 __all__ = [
     "Simulator",
@@ -51,5 +51,6 @@ __all__ = [
     "TraceEvent",
     "BatchedUniform",
     "derive_rng",
+    "derive_seed",
     "spawn_seeds",
 ]

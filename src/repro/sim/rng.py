@@ -21,6 +21,19 @@ def _hash_to_int(*parts: object) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def derive_seed(master_seed: int, *stream: object) -> int:
+    """Derive a 64-bit integer seed deterministically from ``master_seed``
+    and a stream identifier (the integer-valued sibling of
+    :func:`derive_rng`).
+
+    The sweep layer (:mod:`repro.exec.sweep`) derives per-task seeds this
+    way, and campaign artifacts are byte-comparable across runs *because*
+    this mapping is stable — treat the hash construction as a frozen
+    serialization format, not an implementation detail.
+    """
+    return _hash_to_int(master_seed, *stream)
+
+
 def derive_rng(master_seed: int, *stream: object) -> random.Random:
     """Return a :class:`random.Random` seeded deterministically from
     ``master_seed`` and a stream identifier.

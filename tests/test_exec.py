@@ -1,0 +1,246 @@
+"""Tests for the parallel execution layer (repro.exec).
+
+Covers the backend contract (inline vs process-pool parity), the SweepSpec
+grid (JSON round-trip, deterministic coordinate-derived seeds), campaign
+byte-reproducibility at ``--jobs 1`` vs ``--jobs N``, and the driver layers
+refactored onto the backends (scenario CLI, experiment campaign).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.report import RunReport
+from repro.api.spec import SystemSpec
+from repro.exec import (
+    CampaignReport,
+    CampaignRunner,
+    InlineBackend,
+    ProcessPoolBackend,
+    SweepSpec,
+    TaskSpec,
+    backend_for_jobs,
+    get_demo_sweep,
+)
+from repro.exec.backend import canonicalize, resolve_task_fn
+
+
+def echo_tasks(count: int = 3):
+    return [TaskSpec(task_id=f"t{i}", fn="repro.exec.tasks:echo",
+                     payload={"i": i, "nested": {"tuple_becomes": [1, 2]}})
+            for i in range(count)]
+
+
+#: A small, fast sweep: two synthesized windows (loss on/off), n=8.
+def tiny_sweep(seed: int = 3) -> SweepSpec:
+    return SweepSpec(name="tiny", base=SystemSpec(seed=seed), n_nodes=(8,),
+                     loss_rates=(0.0, 0.1), publications=2,
+                     window_rounds=10.0, settle_rounds=200.0)
+
+
+class TestBackends:
+    def test_inline_runs_in_submission_order(self):
+        tasks = echo_tasks()
+        seen = []
+        results = InlineBackend().run(
+            tasks, progress=lambda t, r, done, total: seen.append(t.task_id))
+        assert [r["echo"]["i"] for r in results] == [0, 1, 2]
+        assert seen == ["t0", "t1", "t2"]
+
+    def test_process_pool_matches_inline(self):
+        tasks = echo_tasks()
+        assert ProcessPoolBackend(jobs=2).run(tasks) == InlineBackend().run(tasks)
+
+    def test_canonicalize_matches_process_boundary(self):
+        # Tuples -> lists, int keys -> str keys, sorted key order: exactly
+        # what json.dump in the worker + json.loads in the parent produce.
+        value = {"b": (1, 2), "a": {3: "x"}}
+        assert canonicalize(value) == {"a": {"3": "x"}, "b": [1, 2]}
+
+    def test_backend_for_jobs(self):
+        assert isinstance(backend_for_jobs(1), InlineBackend)
+        assert isinstance(backend_for_jobs(4), ProcessPoolBackend)
+        with pytest.raises(ValueError):
+            backend_for_jobs(0)
+
+    def test_resolve_task_fn_errors(self):
+        with pytest.raises(ValueError, match="module:function"):
+            resolve_task_fn("no-colon")
+        with pytest.raises(ValueError, match="callable"):
+            resolve_task_fn("repro.exec.tasks:not_a_function")
+        with pytest.raises(ValueError, match="module:function"):
+            TaskSpec(task_id="x", fn="no-colon")
+
+    def test_worker_failure_propagates(self):
+        backend = ProcessPoolBackend(jobs=1)
+        task = TaskSpec(task_id="boom", fn="repro.exec.tasks:run_bench_case",
+                        payload={"case": "definitely_not_a_case"})
+        with pytest.raises(RuntimeError, match="boom"):
+            backend.run([task])
+
+
+class TestSweepSpec:
+    def test_json_round_trip_is_lossless(self):
+        sweep = SweepSpec(name="rt",
+                          base=SystemSpec(topology="sharded", shards=2, seed=9),
+                          n_nodes=(8, 16), shards=(1, 2),
+                          schedulers=("wheel", "heap"),
+                          scenarios=("lossy-network", None),
+                          loss_rates=(0.0, 0.05), seeds=2)
+        assert SweepSpec.from_json(sweep.to_json()) == sweep
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepSpec(name="")
+        with pytest.raises(ValueError):
+            SweepSpec(name="x", n_nodes=(1,))
+        with pytest.raises(ValueError):
+            SweepSpec(name="x", schedulers=("bogus",))
+        with pytest.raises(ValueError):
+            SweepSpec(name="x", loss_rates=(1.0,))
+        with pytest.raises(ValueError):
+            SweepSpec(name="x", seeds=0)
+
+    def test_same_sweep_same_master_seed_same_task_seeds(self):
+        first = [t.seed for t in tiny_sweep(seed=3).expand()]
+        second = [t.seed for t in tiny_sweep(seed=3).expand()]
+        assert first == second
+
+    def test_distinct_tasks_never_share_a_seed(self):
+        sweep = SweepSpec(name="grid", base=SystemSpec(seed=1),
+                          n_nodes=(8, 12), shards=(1, 2),
+                          schedulers=("wheel", "heap"),
+                          loss_rates=(0.0, 0.1), seeds=3)
+        seeds = [t.seed for t in sweep.expand()]
+        assert len(seeds) == 2 * 2 * 2 * 2 * 3
+        assert len(set(seeds)) == len(seeds)
+
+    def test_master_seed_changes_every_task_seed(self):
+        a = {t.seed for t in tiny_sweep(seed=3).expand()}
+        b = {t.seed for t in tiny_sweep(seed=4).expand()}
+        assert not a & b
+
+    def test_seeds_are_coordinate_derived_not_positional(self):
+        # Adding an axis value must not disturb the seeds of existing points.
+        small = tiny_sweep()
+        grown = small.with_overrides(loss_rates=(0.0, 0.1, 0.2))
+        small_seeds = {t.task_id: t.seed for t in small.expand()}
+        grown_seeds = {t.task_id: t.seed for t in grown.expand()}
+        for task_id, seed in small_seeds.items():
+            assert grown_seeds[task_id] == seed
+
+    def test_scenario_axis_overrides_library_spec(self):
+        sweep = SweepSpec(name="lib", base=SystemSpec(seed=2),
+                          scenarios=("lossy-network",), n_nodes=(8,),
+                          shards=(2,), loss_rates=(0.2,))
+        task = sweep.expand()[0]
+        scenario = sweep.scenario_for(task)
+        assert scenario.subscribers == 8
+        assert scenario.facade == "sharded" and scenario.shards == 2
+        assert all(p.loss_rate == 0.2 for p in scenario.phases)
+        system = sweep.system_for(task)
+        assert system.topology == "sharded" and system.shards == 2
+        assert system.seed == task.seed
+
+    def test_unswept_axes_inherit(self):
+        sweep = SweepSpec(name="inherit", base=SystemSpec(seed=2),
+                          scenarios=("sharded-supervisor-failover",))
+        task = sweep.expand()[0]
+        scenario = sweep.scenario_for(task)
+        # The library scenario keeps its own facade/shards/sizing.
+        assert scenario.facade == "sharded" and scenario.shards == 4
+        assert scenario.subscribers == 16
+
+
+class TestCampaign:
+    def test_inline_and_process_pool_reports_byte_identical(self):
+        sweep = tiny_sweep()
+        inline = CampaignRunner(sweep, jobs=1).run()
+        pooled = CampaignRunner(sweep, jobs=2).run()
+        assert inline.to_json() == pooled.to_json()
+        assert inline.passed
+
+    def test_artifact_round_trip_and_claims(self):
+        report = CampaignRunner(tiny_sweep(), jobs=1).run()
+        again = CampaignReport.from_json(report.to_json())
+        assert again.to_json() == report.to_json()
+        claims = report.claims()
+        assert len(claims) == 2 and all(claims.values())
+        assert report.failed_tasks == []
+
+    def test_progress_streams_every_task(self):
+        sweep = tiny_sweep()
+        seen = []
+        CampaignRunner(sweep, jobs=1).run(
+            progress=lambda task, rep, done, total: seen.append(
+                (task.task_id, rep["passed"], done, total)))
+        assert [entry[0] for entry in seen] == \
+            [t.task_id for t in sweep.expand()]
+        assert all(done <= total == 2 for _, _, done, total in seen)
+
+    def test_artifact_contains_no_wall_clock(self):
+        report = CampaignRunner(tiny_sweep(), jobs=1).run()
+        assert all(entry["report"]["wall_seconds"] is None
+                   for entry in report.tasks)
+
+
+class TestDriverLayers:
+    def test_scenario_report_dict_round_trip(self):
+        from repro.scenarios.library import get_scenario
+        from repro.scenarios.runner import ScenarioReport, run_scenario
+        report = run_scenario(get_scenario("lossy-network"), seed=1)
+        rebuilt = ScenarioReport.from_dict(
+            json.loads(json.dumps(report.to_dict(), sort_keys=True)))
+        assert rebuilt.to_json() == report.to_json()
+        assert rebuilt.passed == report.passed
+
+    def test_run_report_dict_round_trip(self):
+        report = RunReport(name="X", title="t", headers=["a"], rows=[(1, 2.5)],
+                           claims={"ok": True}, metadata={"n": 3})
+        rebuilt = RunReport.from_dict(
+            json.loads(json.dumps(report.to_dict(), sort_keys=True)))
+        assert rebuilt.to_json() == report.to_json()
+
+    def test_scenario_cli_jobs_parity(self, capsys):
+        from repro.scenarios.cli import main
+        assert main(["--run", "lossy-network", "--seed", "1", "--json"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["--run", "lossy-network", "--seed", "1", "--json",
+                     "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_experiment_campaign_matches_inline_run(self):
+        from repro.experiments.runner import run_experiment_campaign
+        reports = run_experiment_campaign(keys=["E1"], jobs=2)
+        assert set(reports) == {"E1"}
+        report = reports["E1"]
+        assert report.all_claims_hold
+        # Identical (modulo wall) to the canonicalized in-process run.
+        from repro.experiments.experiments import e1_topology
+        expected = canonicalize(e1_topology().to_dict())
+        measured = report.to_dict()
+        measured["wall_seconds"] = expected["wall_seconds"] = None
+        assert canonicalize(measured) == expected
+
+    def test_experiment_campaign_unknown_key(self):
+        from repro.experiments.runner import run_experiment_campaign
+        with pytest.raises(KeyError, match="unknown experiments"):
+            run_experiment_campaign(keys=["E99"])
+
+    def test_e13_experiment_claims_hold(self):
+        from repro.experiments.experiments import e13_parallel_campaign
+        report = e13_parallel_campaign(seed=0)
+        assert report.all_claims_hold, report.failed_claims
+        assert len(report.rows) == 4  # 2 loss rates x 2 shard counts
+
+    def test_demo_sweeps_expand(self):
+        for name in ("e13-loss-shards", "scenario-replicates"):
+            sweep = get_demo_sweep(name, seed=1)
+            tasks = sweep.expand()
+            assert tasks, name
+            seeds = [t.seed for t in tasks]
+            assert len(set(seeds)) == len(seeds)
+        with pytest.raises(KeyError, match="unknown demo sweep"):
+            get_demo_sweep("nope")
