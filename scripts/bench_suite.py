@@ -3,13 +3,15 @@
 
 Examples::
 
-    # full matrix, 3 repeats per case, write BENCH_4.json, compare against
+    # full matrix, 3 repeats per case, write BENCH_5.json, compare against
     # the previous committed BENCH_*.json (fails beyond +20 % wall time)
     python scripts/bench_suite.py
 
-    # CI shape: quick subset, 1 repeat, compare against the committed
-    # baseline BENCH_4.json itself
-    python scripts/bench_suite.py --quick --baseline BENCH_4.json
+    # CI shape: quick subset, 2 repeats, compare against the committed
+    # baseline BENCH_5.json itself (quick/partial runs write
+    # BENCH_5.partial.json so the committed trail document is never
+    # clobbered; pass --out to choose)
+    python scripts/bench_suite.py --quick --baseline BENCH_5.json
 
     # inspect the matrix
     python scripts/bench_suite.py --list
@@ -31,6 +33,7 @@ from repro.perf.suite import (  # noqa: E402
     bench_path,
     compare_benchmarks,
     find_previous_bench,
+    gating_wall,
     load_bench,
     run_suite,
     write_bench,
@@ -75,13 +78,19 @@ def main(argv=None) -> int:
     cases = args.cases.split(",") if args.cases else None
 
     if args.out is None:
-        # Walls measured under contention (--jobs > 1) must never overwrite
-        # the committed BENCH_<id>.json trail by default — the trail is what
-        # the CI regression gate compares serial runs against.  The fallback
-        # name deliberately does not match the BENCH_(\d+).json pattern, so
-        # trail discovery ignores it.
-        args.out = bench_path(REPO_ROOT) if args.jobs <= 1 else \
-            REPO_ROOT / f"BENCH_{CURRENT_BENCH_ID}.jobs.json"
+        # Only a full serial run may land on the committed BENCH_<id>.json
+        # trail by default — the trail is what the CI regression gate
+        # compares serial runs against.  Contended walls (--jobs > 1) and
+        # partial documents (--quick / --cases) default to names that
+        # deliberately do not match the BENCH_(\d+).json pattern, so trail
+        # discovery ignores them and the committed full-matrix document
+        # never gets clobbered by a local spot check.
+        if args.jobs > 1:
+            args.out = REPO_ROOT / f"BENCH_{CURRENT_BENCH_ID}.jobs.json"
+        elif args.quick or args.cases:
+            args.out = REPO_ROOT / f"BENCH_{CURRENT_BENCH_ID}.partial.json"
+        else:
+            args.out = bench_path(REPO_ROOT)
 
     def progress(name, result):
         eps = result.get("events_per_sec")
@@ -115,8 +124,13 @@ def main(argv=None) -> int:
         return 0
     baseline = load_bench(baseline_path)
     regressions = compare_benchmarks(document, baseline, threshold=args.threshold)
+    # Name the gating statistic explicitly (one line per compared case):
+    # min-of-repeats where the repeat list exists, the single wall otherwise.
+    statistics = {gating_wall(result)[1]
+                  for result in document.get("cases", {}).values()}
     print(f"compared against {baseline_path} "
-          f"(threshold +{args.threshold:.0%}):")
+          f"(threshold +{args.threshold:.0%}, "
+          f"gating statistic: {', '.join(sorted(statistics)) or 'n/a'}):")
     if regressions:
         for regression in regressions:
             print(f"  REGRESSION {regression}")

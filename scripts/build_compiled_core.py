@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Build (or remove) the optional mypyc-compiled simulator core, in place.
+
+The simulator's two hot modules — ``repro.sim.engine`` and
+``repro.sim.scheduler`` — are written so that mypyc can compile them into C
+extension modules that shadow the pure-Python sources at import time.  The
+compiled core is strictly optional: nothing in the repo requires it, every
+test and benchmark runs pure-Python by default, and this script exits
+gracefully (code 0) when mypyc is not installed, so it is safe to call
+unconditionally from CI or a Makefile.
+
+Usage::
+
+    python scripts/build_compiled_core.py          # build .so files in place
+    python scripts/build_compiled_core.py --clean  # remove them again
+
+After a successful build, verify which core the interpreter imports::
+
+    PYTHONPATH=src python -c \\
+        "from repro.sim import core_build_info; print(core_build_info())"
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SIM_DIR = REPO_ROOT / "src" / "repro" / "sim"
+
+#: Modules compiled by the optional build (keep in sync with setup.py).
+CORE_MODULES = ("engine", "scheduler")
+
+
+def clean() -> int:
+    """Remove compiled artifacts so imports fall back to pure Python."""
+    removed = []
+    for stem in CORE_MODULES:
+        for artifact in SIM_DIR.glob(f"{stem}.*.so"):
+            artifact.unlink()
+            removed.append(artifact)
+        for artifact in SIM_DIR.glob(f"{stem}.*.pyd"):
+            artifact.unlink()
+            removed.append(artifact)
+    # mypyc emits one shared runtime module next to the compiled ones.
+    for artifact in SIM_DIR.glob("*__mypyc.*.so"):
+        artifact.unlink()
+        removed.append(artifact)
+    build_dir = REPO_ROOT / "build"
+    if build_dir.is_dir():
+        shutil.rmtree(build_dir)
+        removed.append(build_dir)
+    if removed:
+        for path in removed:
+            print(f"removed {path.relative_to(REPO_ROOT)}")
+    else:
+        print("nothing to clean; core is pure Python")
+    return 0
+
+
+def build() -> int:
+    try:
+        import mypyc.build  # noqa: F401
+    except ImportError:
+        print("mypyc is not installed; keeping the pure-Python core "
+              "(pip install mypy to enable the compiled build)")
+        return 0
+
+    # Delegate to setup.py so this script and REPRO_BUILD_MYPYC=1 builds are
+    # the same code path; build_ext --inplace drops the .so files next to the
+    # sources, where they shadow the .py modules on import.
+    result = subprocess.run(
+        [sys.executable, "setup.py", "build_ext", "--inplace"],
+        cwd=REPO_ROOT,
+        env={**__import__("os").environ, "REPRO_BUILD_MYPYC": "1"},
+    )
+    if result.returncode != 0:
+        print("compiled-core build failed; the pure-Python core is unaffected",
+              file=sys.stderr)
+        return result.returncode
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.sim import core_build_info
+
+    info = core_build_info()
+    print(f"core build: {info}")
+    return 0 if info["compiled"] else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clean", action="store_true",
+                        help="remove compiled artifacts instead of building")
+    args = parser.parse_args(argv)
+    return clean() if args.clean else build()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

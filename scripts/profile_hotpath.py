@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Profile one bench case with cProfile and print the top cumulative hits.
+
+The perf suite answers "did it get slower?"; this script answers "where does
+the time go?".  It runs any case from the bench matrix
+(:data:`repro.perf.cases.BENCH_CASES`) under :mod:`cProfile` in-process and
+prints the top functions by cumulative time — the view that surfaces the
+engine's block loop, the scheduler drains and the RNG refills in one screen.
+
+Usage::
+
+    python scripts/profile_hotpath.py                    # core_2k_wheel
+    python scripts/profile_hotpath.py core_50k_wheel
+    python scripts/profile_hotpath.py --top 40 --sort tottime
+    python scripts/profile_hotpath.py --out storm.pstats # for snakeviz etc.
+
+Profiling overhead is large (~2-3x wall) and skews toward call-heavy code,
+so compare *shapes* between runs, never absolute times — the bench suite
+owns absolute numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf.cases import BENCH_CASES, get_case  # noqa: E402
+from repro.sim import core_build_info  # noqa: E402
+
+DEFAULT_TOP = 25
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("case", nargs="?", default="core_2k_wheel",
+                        help="bench case to profile (default core_2k_wheel; "
+                             "--list shows the matrix)")
+    parser.add_argument("--top", type=int, default=DEFAULT_TOP,
+                        help=f"rows to print (default {DEFAULT_TOP})")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "ncalls"),
+                        help="pstats sort key (default cumulative)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also dump raw pstats data to this file")
+    parser.add_argument("--list", action="store_true",
+                        help="list the bench matrix and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for case in BENCH_CASES:
+            print(f"{case.name:22s} {case.description}")
+        return 0
+
+    case = get_case(args.case)
+    info = core_build_info()
+    mode = "compiled" if info["compiled"] else "pure-python"
+    print(f"profiling {case.name} ({case.description})")
+    print(f"core: {mode}  [engine={info['engine']}, "
+          f"scheduler={info['scheduler']}]")
+    if info["compiled"]:
+        print("note: cProfile cannot see inside compiled extension frames; "
+              "rebuild pure-Python (scripts/build_compiled_core.py --clean) "
+              "for a full call tree")
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    events, payload = case.run()
+    profiler.disable()
+    del payload
+
+    if events:
+        print(f"events processed: {events:,}")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if args.out is not None:
+        stats.dump_stats(args.out)
+        print(f"wrote raw profile to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

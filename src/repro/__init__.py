@@ -77,7 +77,7 @@ from repro.api import (
 )
 from repro.exec import CampaignReport, CampaignRunner, SweepSpec, run_campaign
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ProtocolParams",

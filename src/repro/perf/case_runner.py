@@ -1,16 +1,18 @@
-"""Subprocess entry point of the perf suite: run one case, print one JSON.
+"""DEPRECATED shim — the per-case subprocess entry point moved to
+:mod:`repro.exec`.
 
-Usage (normally via :func:`repro.perf.suite.run_suite`)::
-
-    python -m repro.perf.case_runner core_2k_wheel --repeats 3
-
-Since the :mod:`repro.exec` layer landed, this module is a thin shim: the
+This module pioneered the fresh-interpreter-per-case isolation the perf
+suite relies on; since the :mod:`repro.exec` layer landed (PR 5) the
 measurement loop lives in :func:`repro.exec.tasks.run_bench_case` and the
 suite dispatches cases through
 :class:`~repro.exec.backend.ProcessPoolBackend` (``python -m
-repro.exec.worker``), which generalizes the per-case fresh-interpreter
-isolation this runner pioneered.  The CLI remains for running one case by
-hand.
+repro.exec.worker``).  Importing this module, calling :func:`measure`, or
+running the CLI emits a :class:`DeprecationWarning`; use::
+
+    python -m repro.exec.worker   # suite-internal protocol
+
+or simply ``scripts/bench_suite.py --cases <name>`` to measure one case by
+hand.  The stub will be removed one PR after nothing warns.
 """
 
 from __future__ import annotations
@@ -18,9 +20,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
+
+_MESSAGE = ("repro.perf.case_runner is deprecated; the measurement loop "
+            "lives in repro.exec.tasks.run_bench_case and the suite "
+            "dispatches through repro.exec.backend.ProcessPoolBackend "
+            "(use scripts/bench_suite.py --cases <name> for one-off runs)")
+
+warnings.warn(_MESSAGE, DeprecationWarning, stacklevel=2)
 
 
 def measure(name: str, repeats: int) -> dict:
+    """Deprecated alias for :func:`repro.exec.tasks.run_bench_case`."""
+    warnings.warn(_MESSAGE, DeprecationWarning, stacklevel=2)
     from repro.exec.tasks import run_bench_case
 
     return run_bench_case({"case": name, "repeats": repeats})

@@ -101,6 +101,14 @@ BENCH_CASES: List[BenchCase] = [
     BenchCase("core_5k_heap",
               "engine core: 5000 nodes x 80 rounds, binary heap",
               lambda: _core_storm(5_000, 80, "heap")),
+    BenchCase("core_20k_wheel",
+              "engine core: 20000 nodes x 20 rounds, timeout wheel "
+              "(production-scale storm)",
+              lambda: _core_storm(20_000, 20, "wheel")),
+    BenchCase("core_50k_wheel",
+              "engine core: 50000 nodes x 8 rounds, timeout wheel "
+              "(per-event cost must stay flat vs core_2k)",
+              lambda: _core_storm(50_000, 8, "wheel")),
     BenchCase("facade_single",
               "single supervisor: 8 topics x 8 subscribers stabilized "
               "+ 40 rounds",

@@ -19,6 +19,32 @@ the supervisor-side oracle failure detector used in Section 3.3 of the paper.
 """
 
 from repro.sim.engine import Simulator, SimulatorConfig
+
+
+def core_build_info() -> dict:
+    """Which build of the simulator core this interpreter imported.
+
+    The hot modules (:mod:`repro.sim.engine`, :mod:`repro.sim.scheduler`)
+    can optionally be compiled with mypyc (``scripts/build_compiled_core.py``
+    or ``REPRO_BUILD_MYPYC=1 pip install -e .``).  Compiled extension modules
+    shadow the pure-Python sources at import time; this helper reports which
+    one actually loaded, so benchmarks and bug reports can state their mode.
+    """
+    import repro.sim.engine as _engine
+    import repro.sim.scheduler as _scheduler
+
+    def mode(module) -> str:
+        filename = getattr(module, "__file__", "") or ""
+        return ("compiled" if filename.endswith((".so", ".pyd"))
+                else "pure-python")
+
+    engine_mode = mode(_engine)
+    scheduler_mode = mode(_scheduler)
+    return {
+        "engine": engine_mode,
+        "scheduler": scheduler_mode,
+        "compiled": engine_mode == "compiled" and scheduler_mode == "compiled",
+    }
 from repro.sim.network import Message, Network, ChannelStats
 from repro.sim.node import ProtocolNode, NodeRef
 from repro.sim.failure import FailureDetector, CrashSchedule
@@ -33,6 +59,7 @@ from repro.sim.tracing import Tracer, TraceEvent
 from repro.sim.rng import BatchedUniform, derive_rng, derive_seed, spawn_seeds
 
 __all__ = [
+    "core_build_info",
     "Simulator",
     "SimulatorConfig",
     "EventScheduler",

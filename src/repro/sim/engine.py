@@ -12,31 +12,41 @@ The simulator realises the paper's asynchronous execution model:
 All randomness is derived from a single master seed
 (:class:`SimulatorConfig.seed`), so runs are reproducible.
 
-Hot-path layout (PR 4): the drivers funnel into :meth:`Simulator.
-run_until_time`, whose loop pops events straight off the concrete scheduler
-(wheel bucket tail / C-level ``heappop``; custom schedulers are drained in
-same-timestamp batches through
-:meth:`~repro.sim.scheduler.EventScheduler.pop_batch_into`), keeps every
-per-event collaborator prebound in locals, and fuses the deliver → handler →
-stats chain without intermediate wrappers.  Message delays come from a
-:class:`~repro.sim.rng.BatchedUniform` pre-generated in blocks —
-bit-identical to per-call ``Random.uniform`` draws, so seeded runs (and
-their reports) are byte-identical to the unbatched engine's.
+Hot-path layout (PR 4, extended in PR 6): the drivers funnel into
+:meth:`Simulator.run_until_time`.  On the paper's fault model (no link
+adversary) with a built-in scheduler it drains events in **blocks**: a safety
+window is computed such that nothing a handler can schedule may land inside
+it (``min(min_delay, timeout_period * (1 - jitter))`` ahead of the next
+event, clipped by the earliest pending crash/callback), the whole window is
+spliced out of the scheduler in one array operation
+(:meth:`~repro.sim.scheduler.EventScheduler.pop_block_into`), and a tight
+index loop delivers it with no per-event queue traffic.  Messages travel as
+plain tuples (*fast records*, :mod:`repro.sim.network`) that serve as
+scheduler event and channel entry at once — no per-message object
+allocation.  Message delays and timeout jitter come from
+:class:`~repro.sim.rng.BatchedUniform` / :class:`~repro.sim.rng.BatchedRandom`
+pre-generated in blocks — bit-identical to per-call ``Random.uniform``
+draws, so seeded runs (and their reports) are byte-identical to the
+unbatched engine's.  Adversarial runs and custom schedulers use the serial
+fused loop (per-event pops, every collaborator prebound in locals), which
+preserves the exact ``step()`` semantics event by event.
 """
 
 from __future__ import annotations
 
+import gc
 import itertools
+import math
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import heapq
 
 from repro.sim.failure import CrashSchedule, FailureDetector
-from repro.sim.network import Message, Network
+from repro.sim.network import Message, Network, record_to_message
 from repro.sim.node import NodeRef, ProtocolNode
-from repro.sim.rng import BatchedUniform, derive_rng
+from repro.sim.rng import BatchedRandom, BatchedUniform, derive_rng
 from repro.sim.scheduler import (
     SCHEDULER_NAMES,
     EventScheduler,
@@ -105,10 +115,27 @@ _DELIVER = 0
 _TIMEOUT = 1
 _CRASH = 2
 _CALL = 3
+#: Fast-record delivery: the event tuple IS the in-flight message record
+#: (see the ``REC_*`` layout in :mod:`repro.sim.network`).
+_DELIVER_FAST = 4
+
+_NEG_INF = float("-inf")
 
 
 class Simulator:
-    """Event-driven executor for a set of :class:`ProtocolNode` instances."""
+    """Event-driven executor for a set of :class:`ProtocolNode` instances.
+
+    Slotted: ``self.now`` is read and written once per event and the block-
+    interrupt flag is polled once per event, so the per-instance ``__dict__``
+    indirection is worth removing.  The two submit closures are per-instance
+    slots assigned by :meth:`_bind_fast_submit`.
+    """
+
+    __slots__ = ("config", "now", "network", "tracer", "failure_detector",
+                 "nodes", "_seq", "_delay_rng", "_delay_draws", "_jitter_rng",
+                 "_jitter_draws", "_adversary_rng", "_steps", "_special_times",
+                 "_block_end", "_block_interrupted", "_scheduler",
+                 "submit_message", "_send_fast")
 
     def __init__(self, config: Optional[SimulatorConfig] = None) -> None:
         self.config = config or SimulatorConfig()
@@ -125,15 +152,39 @@ class Simulator:
         self._delay_draws = BatchedUniform(
             self._delay_rng, self.config.min_delay, self.config.max_delay)
         self._jitter_rng = derive_rng(self.config.seed, "jitter")
+        #: pre-generated raw jitter draws serving both the ``add_node``
+        #: timeout stagger and the per-timeout reschedule factor, in the same
+        #: interleaved order (and bitwise the same values) as calling
+        #: ``self._jitter_rng`` directly.  Nothing else may draw from
+        #: ``_jitter_rng`` — a direct draw would desynchronise the buffer.
+        self._jitter_draws = BatchedRandom(self._jitter_rng)
         self._adversary_rng = derive_rng(self.config.seed, "adversary")
         self._steps = 0
+        #: min-heap of pending crash/callback event times — these are the only
+        #: events a handler can schedule *inside* a block window, so the block
+        #: drain clips its window at the earliest of them (see ``_push``)
+        self._special_times: List[float] = []
+        #: exclusive upper bound of the block currently being drained
+        #: (``-inf`` outside a block) and the interrupt flag ``_push`` raises
+        #: when an event lands inside it
+        self._block_end: float = _NEG_INF
+        self._block_interrupted = False
         # Assigning the scheduler (a property) also binds the fused
-        # ``submit_message`` closure, which captures the scheduler's push.
-        self.scheduler = make_scheduler(
+        # ``submit_message``/``_send_fast`` closures, which capture the
+        # scheduler's push.
+        scheduler = make_scheduler(
             self.config.scheduler, self.config.timeout_period,
             min_delay=self.config.min_delay, max_delay=self.config.max_delay,
             timeout_jitter=self.config.timeout_jitter,
             bucket_width=self.config.wheel_bucket_width)
+        if type(scheduler) is TimeoutWheelScheduler:
+            # The engine builds every event around a freshly drawn seq and
+            # pushes it immediately, so its push stream is seq-monotone per
+            # bucket — unlock the wheel's timestamp-only bucket sort.  Only
+            # set on the wheel the engine creates itself: an externally
+            # assigned scheduler may have been pre-loaded in arbitrary order.
+            scheduler.monotone_seq = True
+        self.scheduler = scheduler
 
     @property
     def scheduler(self) -> EventScheduler:
@@ -149,16 +200,25 @@ class Simulator:
         self._bind_fast_submit()
 
     def _bind_fast_submit(self) -> None:
-        """(Re)build the prebound submit closure.
+        """(Re)build the prebound submit closures.
 
         Network internals, scheduler, delay source and seq counter are fixed
         for the simulator's lifetime (scheduler swaps re-run this binding via
         the property setter), so the per-message path resolves them once here
-        instead of per call.  The closure fuses the no-adversary branch of
-        :meth:`Network.submit` (kept in sync with it — the semantics are
-        pinned by the golden and parity tests); messages facing an adversary
-        or a crashed destination take the full method.  Live reads each call:
-        ``self.now`` and ``network.adversary``.
+        instead of per call.  Two closures come out:
+
+        * ``submit_message(msg)`` — the ownership-transferring Message path
+          (external callers, injected messages);
+        * ``_send_fast(sender, dest, action, topic, params)`` — the
+          :meth:`ProtocolNode.send` path, which never builds a Message at
+          all: the in-flight record is one tuple serving as scheduler event
+          and channel entry simultaneously.
+
+        Both fuse the no-adversary branch of :meth:`Network.submit` (kept in
+        sync with it — the semantics are pinned by the golden and parity
+        tests); messages facing an adversary or a crashed destination take
+        the full method.  Live reads each call: ``self.now`` and
+        ``network.adversary``.
         """
         network = self.network
         network_submit = network.submit
@@ -166,19 +226,39 @@ class Simulator:
         crashed = network._crashed
         stats = network.stats
         sent = stats._sent
-        msg_counter = network._msg_counter
+        derived = stats._derived  # invalidated in place, never rebound
+        msg_next = network._msg_counter.__next__
         delay_draws = self._delay_draws
-        scheduler_push = self._scheduler.push
-        seq = self._seq
+        delay_buffer = delay_draws._buffer  # refilled in place, never rebound
+        delay_refill = delay_draws._refill
+        scheduler = self._scheduler
+        scheduler_push = scheduler.push
+        seq_next = self._seq.__next__
+        # The per-message scheduler push is specialised on the concrete
+        # scheduler type: for the wheel the bucket append is inlined, for the
+        # heap the push is one C-level ``heappush`` — the generic method call
+        # only remains for custom schedulers.  Semantics are pinned by the
+        # heap/wheel parity tests.
+        scheduler_kind = type(scheduler)
+        is_wheel = scheduler_kind is TimeoutWheelScheduler
+        is_heap = scheduler_kind is HeapScheduler
+        if is_wheel:
+            inv_width = scheduler._inv_width
+            buckets = scheduler._buckets
+            bucket_heap = scheduler._bucket_heap
+            insert_late = scheduler._insert_late
+        elif is_heap:
+            event_heap = scheduler._heap
+        heappush = heapq.heappush
 
         def _fast_submit(msg: Message) -> None:
             dest = msg.dest
             if network.adversary is not None or dest in crashed:
                 accepted = network_submit(msg, delay_draws, self.now)
                 for copy in accepted:
-                    scheduler_push((copy.deliver_time, next(seq), _DELIVER, copy))
+                    scheduler_push((copy.deliver_time, seq_next(), _DELIVER, copy))
                 return
-            msg.msg_id = msg_id = next(msg_counter)
+            msg.msg_id = msg_id = msg_next()
             msg.send_time = now = self.now
             stats.total_sent += 1
             key = (msg.sender, msg.action)
@@ -186,21 +266,67 @@ class Simulator:
                 sent[key] += 1
             except KeyError:
                 sent[key] = 1
-            if stats._derived:
-                stats._derived = {}
-            buffer = delay_draws._buffer
-            if not buffer:
-                delay_draws._refill()
-                buffer = delay_draws._buffer
-            msg.deliver_time = deliver_time = now + buffer.pop()
+            if derived:
+                derived.clear()
+            if not delay_buffer:
+                delay_refill()
+            msg.deliver_time = deliver_time = now + delay_buffer.pop()
             try:
                 channels[dest][msg_id] = msg
             except KeyError:
                 channels[dest] = {msg_id: msg}
-            scheduler_push((deliver_time, next(seq), _DELIVER, msg))
+            scheduler_push((deliver_time, seq_next(), _DELIVER, msg))
 
         #: ownership-transferring fast path (see :meth:`submit_message`)
         self.submit_message = _fast_submit
+
+        def _send_fast(sender: Optional[NodeRef], dest: NodeRef, action: str,
+                       topic: Optional[str], params: Dict[str, Any]) -> None:
+            if network.adversary is not None or dest in crashed:
+                _fast_submit(Message(action=action, params=params,
+                                     sender=sender, dest=dest, topic=topic))
+                return
+            msg_id = msg_next()
+            now = self.now
+            stats.total_sent += 1
+            key = (sender, action)
+            try:
+                sent[key] += 1
+            except KeyError:
+                sent[key] = 1
+            if derived:
+                derived.clear()
+            if not delay_buffer:
+                delay_refill()
+            deliver_time = now + delay_buffer.pop()
+            # The record layout is pinned by the REC_* constants in
+            # repro.sim.network: (deliver_time, seq, kind, dest, action,
+            # params, topic, sender, send_time, msg_id).
+            record = (deliver_time, seq_next(), _DELIVER_FAST, dest, action,
+                      params, topic, sender, now, msg_id)
+            try:
+                channels[dest][msg_id] = record
+            except KeyError:
+                channels[dest] = {msg_id: record}
+            if is_wheel:
+                # inlined TimeoutWheelScheduler.push
+                index = int(deliver_time * inv_width)
+                scheduler._count += 1
+                if index <= scheduler._current_index:
+                    insert_late(record)
+                else:
+                    try:
+                        buckets[index].append(record)
+                    except KeyError:
+                        buckets[index] = [record]
+                        heappush(bucket_heap, index)
+            elif is_heap:
+                heappush(event_heap, record)
+            else:
+                scheduler_push(record)
+
+        #: record-building fast path used by :meth:`ProtocolNode.send`
+        self._send_fast = _send_fast
 
     # ------------------------------------------------------------------ nodes
     def add_node(self, node: ProtocolNode, schedule_timeout: bool = True) -> ProtocolNode:
@@ -212,7 +338,8 @@ class Simulator:
         if schedule_timeout:
             # Stagger the first timeout uniformly over one period so nodes do
             # not fire in lock-step.
-            first = self.now + self._jitter_rng.uniform(0, self.config.timeout_period)
+            first = self.now + self._jitter_draws.uniform(
+                0, self.config.timeout_period)
             self._push(first, _TIMEOUT, node.node_id)
         return node
 
@@ -231,10 +358,26 @@ class Simulator:
                                     dest=dest, topic=topic))
 
     # submit_message — assigned per instance in ``__init__`` — submits an
-    # already-built :class:`Message` and schedules its accepted copies (the
-    # ownership-transferring fast path :meth:`ProtocolNode.send` uses: the
-    # message and its params dict must not be mutated by the caller after
-    # handing them over).
+    # already-built :class:`Message` and schedules its accepted copies (an
+    # ownership-transferring fast path: the message and its params dict must
+    # not be mutated by the caller after handing them over).  _send_fast —
+    # also assigned per instance — is the :meth:`ProtocolNode.send` sibling
+    # that skips Message construction entirely.
+
+    def submit_messages(self, msgs: Sequence[Message]) -> None:
+        """Bulk-submit pre-built messages stamped at the current instant.
+
+        Folds the per-message :meth:`Network.submit` → scheduler-push round
+        trip into one :meth:`Network.submit_batch` call — all delivery delays
+        drawn in one block, bitwise-identical to submitting the messages one
+        by one — plus a single push loop.  Ownership of the messages
+        transfers like :attr:`submit_message`.
+        """
+        accepted = self.network.submit_batch(msgs, self._delay_draws, self.now)
+        push = self._scheduler.push
+        seq = self._seq
+        for msg in accepted:
+            push((msg.deliver_time, next(seq), _DELIVER, msg))
 
     def inject_message(self, dest: NodeRef, action: str, params: Dict[str, Any],
                        topic: Optional[str] = None, delay: Optional[float] = None) -> None:
@@ -242,6 +385,10 @@ class Simulator:
         corruption).  It will be delivered like any other message."""
         msg = Message(action=action, params=dict(params), sender=None, dest=dest,
                       topic=topic, send_time=self.now)
+        if delay is not None and delay < 0:
+            # The block drain relies on every schedulable time being >= now
+            # (the simulated clock never moves backward).
+            raise ValueError("inject_message delay must be non-negative")
         self.network.inject_initial(msg)
         if delay is None:
             delay = self._delay_draws.next()
@@ -258,6 +405,10 @@ class Simulator:
         adversary preserves the heap/wheel parity guarantee.
         """
         self.network.install_adversary(adversary)
+        # An adversary may scale delays below min_delay, so the block drain's
+        # safety window no longer holds: abort any block in progress and let
+        # run_until_time fall back to the serial loop (see _run_blocks).
+        self._block_interrupted = True
 
     def adversary_rng(self) -> random.Random:
         """The RNG stream reserved for a link adversary, derived from the
@@ -292,6 +443,18 @@ class Simulator:
         self._push(max(time, self.now), _CALL, fn)
 
     def _push(self, time: float, kind: int, payload: Any) -> None:
+        """Generic event push with the block-drain bookkeeping.
+
+        Crash/callback times go into the special-times heap that clips the
+        block window (entries are popped as the events are consumed), and a
+        push landing inside the block currently being drained raises the
+        interrupt flag so the drain requeues its unprocessed tail and the new
+        event is emitted in proper ``(time, seq)`` order.
+        """
+        if kind == _CRASH or kind == _CALL:
+            heapq.heappush(self._special_times, time)
+        if time < self._block_end:
+            self._block_interrupted = True
         self.scheduler.push((time, next(self._seq), kind, payload))
 
     # -------------------------------------------------------------- execution
@@ -299,17 +462,31 @@ class Simulator:
         """Process a single event.  Returns False when no event is pending."""
         if not self.scheduler:
             return False
-        time, _, kind, payload = self.scheduler.pop()
-        self.now = max(self.now, time)
+        event = self.scheduler.pop()
+        time = event[0]
+        if time > self.now:
+            self.now = time
         self._steps += 1
+        kind = event[2]
         if kind == _DELIVER:
-            self._handle_delivery(payload)
+            self._handle_delivery(event[3])
         elif kind == _TIMEOUT:
-            self._handle_timeout(payload)
+            self._handle_timeout(event[3])
+        elif kind == _DELIVER_FAST:
+            if self.network.pop_record(event):
+                node = self.nodes.get(event[3])
+                if node is not None and not node.crashed:
+                    node.dispatch(record_to_message(event))
         elif kind == _CRASH:
-            self._apply_crash(payload)
+            self._apply_crash(event[3])
+            special = self._special_times
+            if special and special[0] == time:
+                heapq.heappop(special)
         elif kind == _CALL:
-            payload()
+            event[3]()
+            special = self._special_times
+            if special and special[0] == time:
+                heapq.heappop(special)
         return True
 
     def _handle_delivery(self, msg: Message) -> None:
@@ -329,7 +506,7 @@ class Simulator:
         node.on_timeout()
         period = self.config.timeout_period
         jitter = self.config.timeout_jitter
-        next_in = period * (1 + self._jitter_rng.uniform(-jitter, jitter))
+        next_in = period * (1 + self._jitter_draws.uniform(-jitter, jitter))
         self._push(self.now + next_in, _TIMEOUT, node_id)
 
     # ----------------------------------------------------------------- drivers
@@ -340,23 +517,317 @@ class Simulator:
     def run_until_time(self, deadline: float, max_steps: Optional[int] = None) -> None:
         """Process events in order until the next one lies beyond ``deadline``.
 
-        This is the engine's hot loop.  The drain is fused with the concrete
-        scheduler (wheel tail pops / direct heap pops, falling back to the
-        generic :meth:`~repro.sim.scheduler.EventScheduler.pop_batch_into`
-        batch interface for custom schedulers), every collaborator is
-        prebound in a local, and the two dominant event kinds — message
-        delivery and periodic timeouts — are handled inline: delivery goes
-        channel-pop → crash checks → dispatch with no intermediate frames,
-        and timeout goes handler → jittered reschedule the same way.  Every
-        variant processes the exact per-event ``step()`` sequence: events are
-        consumed in ``(time, seq)`` order, and anything pushed by a handler
-        carries ``time >= now`` and a larger ``seq``, so it sorts strictly
-        after the event being processed (see :mod:`repro.sim.scheduler`).
+        This is the engine's hot loop, in two gears:
+
+        * **Block drain** (:meth:`_run_blocks`) — the paper's fault model (no
+          link adversary) on a built-in scheduler.  Whole safety windows of
+          events are spliced out of the queue at array level and delivered in
+          a tight index loop; see the method for the window argument.
+        * **Serial fused loop** (:meth:`_run_serial`) — adversarial runs and
+          custom schedulers.  Per-event pops fused with the concrete
+          scheduler, every collaborator prebound in a local.
+
+        Both gears process the exact per-event ``step()`` sequence: events
+        are consumed in ``(time, seq)`` order, and anything pushed by a
+        handler either carries ``time >= now`` outside the active window or
+        interrupts the block (see :meth:`_push`), so it sorts strictly after
+        the event being processed.  Reports are byte-identical across gears
+        and schedulers.
         """
         if max_steps is not None:
             self._run_until_time_bounded(deadline, max_steps)
             return
-        scheduler = self.scheduler
+        # Pause the cyclic garbage collector for the duration of the run.
+        # The hot loops allocate a tuple or two per event (records, timeout
+        # events, stats keys), and every ~700 net allocations trigger a gen-0
+        # scan; over a long run the collector eats 10-20 % of the wall clock
+        # while collecting almost nothing — event garbage is acyclic and dies
+        # by refcount, and the sim <-> node reference cycles live until the
+        # simulator itself is dropped (never mid-run).  Cycles a handler
+        # creates during the run are simply collected after it returns.
+        # Nested runs are safe: the inner call sees GC already off and leaves
+        # it that way; only the outermost call restores it.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            scheduler_type = type(self._scheduler)
+            if (self.network.adversary is None
+                    and (scheduler_type is TimeoutWheelScheduler
+                         or scheduler_type is HeapScheduler)):
+                self._run_blocks(deadline)
+            else:
+                self._run_serial(deadline)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        if deadline > self.now:
+            self.now = deadline
+
+    def _run_blocks(self, deadline: float) -> None:
+        """Windowed block drain (the no-adversary hot path).
+
+        Safety argument: with no adversary, every handler-scheduled event
+        lies at least ``horizon = min(min_delay, timeout_period * (1 -
+        timeout_jitter))`` in the future (message delays are >= min_delay,
+        timeout reschedules >= period * (1 - jitter); both strictly positive
+        by config validation) — **except** crashes, callbacks, zero-delay
+        injections and freshly added nodes' staggered timeouts.  The first
+        two are pre-registered in the special-times heap, which clips the
+        window; the rest route through :meth:`_push`, which interrupts the
+        block so the drain requeues its unprocessed tail.  Hence every event
+        in ``[t0, limit)`` is already in the scheduler when the window opens,
+        and the block can be consumed with no per-event queue traffic.
+        """
+        scheduler = self._scheduler
+        pop_block_into = scheduler.pop_block_into
+        next_time = scheduler.next_time
+        push = scheduler.push
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        # Timeout reschedules are by far the most frequent push this loop
+        # performs; inline the concrete scheduler's push for them (the same
+        # specialisation _bind_fast_submit applies to sends).
+        is_wheel = type(scheduler) is TimeoutWheelScheduler
+        if is_wheel:
+            inv_width = scheduler._inv_width
+            buckets = scheduler._buckets
+            bucket_heap = scheduler._bucket_heap
+            insert_late = scheduler._insert_late
+        else:
+            event_heap = scheduler._heap  # only wheel/heap reach this loop
+        seq_next = self._seq.__next__
+        network = self.network
+        channels = network._channels
+        stats = network.stats
+        received = stats._received
+        derived = stats._derived
+        nodes = self.nodes
+        nodes_get = nodes.get
+        base_dispatch = ProtocolNode.dispatch
+        config = self.config
+        period = config.timeout_period
+        jitter = config.timeout_jitter
+        # ``uniform(-jitter, jitter)`` unrolled with its bounds precomputed:
+        # ``a + (b - a) * random()`` with a = -jitter, b - a = 2 * jitter —
+        # bit-identical to Random.uniform, minus the per-event method frame.
+        # (Float addition is non-associative: the parenthesisation in the
+        # reschedule below must stay exactly ``1 + (a + span * r)``.)
+        neg_jitter = -jitter
+        jitter_span = jitter - neg_jitter
+        jitter_buffer = self._jitter_draws._buffer  # refilled in place
+        jitter_refill = self._jitter_draws._refill
+        special = self._special_times
+        horizon = min(config.min_delay, period * (1.0 - jitter))
+        # Strict `< limit` window membership with an inclusive deadline:
+        # events at exactly `deadline` belong to the run.
+        beyond_deadline = math.nextafter(deadline, math.inf)
+        block: List[Any] = []
+        delivered = 0
+        pushed = 0  # deferred wheel._count increments, flushed per block
+        # Monomorphic dispatch cache: simulations overwhelmingly deliver one
+        # action type to one node class, so remember the last resolved
+        # (class, action) -> handler.  Action strings come from per-call-site
+        # constants, so the identity check hits for repeat senders; any miss
+        # falls back to the full resolution (which also re-validates that the
+        # class does not override dispatch).  ``None`` caches "take the slow
+        # dispatch path" for that pair.
+        cached_type: Any = None
+        cached_action: Any = None
+        cached_handler: Any = None
+        while True:
+            if network.adversary is not None:
+                # A handler installed an adversary mid-run: delays may now
+                # shrink below min_delay, so the window argument no longer
+                # holds.  Finish the run on the serial loop.
+                self._run_serial(deadline)
+                return
+            t0 = next_time()
+            if t0 is None or t0 > deadline:
+                return
+            while special and special[0] < t0:
+                heappop(special)  # stale: consumed outside this loop
+            limit = t0 + horizon
+            if special and special[0] < limit:
+                limit = special[0]
+            if beyond_deadline < limit:
+                limit = beyond_deadline
+            n = pop_block_into(block, limit)
+            if n == 0:
+                # The next event is a crash/callback at exactly ``limit`` (or
+                # a window-degenerate boundary case): process one event on
+                # the generic per-event path — which also keeps the special-
+                # times heap in sync — then recompute the window.
+                if not self.step():
+                    return
+                continue
+            self._block_end = limit
+            self._block_interrupted = False
+            consumed = n
+            event = None
+            try:
+                # No enumerate: the index is only needed on the rare
+                # interrupt/exception paths, where ``block.index(event)``
+                # recovers it ((time, seq) tuples are unique, so value
+                # equality is identity here).
+                for event in block:
+                    # Unconditional clock store: block events arrive sorted
+                    # ascending and every schedulable time is >= now
+                    # (inject_message validates its delay), so the clock
+                    # never moves backward here.
+                    time = event[0]
+                    self.now = time
+                    kind = event[2]
+                    if kind == _DELIVER_FAST:
+                        # Fused record delivery (in sync with
+                        # Network.pop_record): the event IS the channel
+                        # entry, so the channel pop is pure bookkeeping and
+                        # the O(1) stats counters update inline.  Subscript
+                        # misses only happen when the destination crashed
+                        # after the send.
+                        dest = event[3]
+                        try:
+                            del channels[dest][event[9]]
+                        except KeyError:
+                            continue  # destination crashed after the send
+                        delivered += 1
+                        action = event[4]
+                        stats_key = (dest, action)
+                        try:
+                            received[stats_key] += 1
+                        except KeyError:
+                            received[stats_key] = 1
+                        if derived:
+                            derived.clear()
+                        try:
+                            node = nodes[dest]
+                        except KeyError:
+                            continue
+                        if node.crashed:
+                            continue
+                        node_type = node.__class__
+                        if node_type is cached_type and action is cached_action:
+                            handler = cached_handler
+                        else:
+                            if (node_type.dispatch is base_dispatch):
+                                handler = node_type._action_handlers.get(action)
+                            else:
+                                handler = None  # subclass overrides dispatch
+                            cached_type = node_type
+                            cached_action = action
+                            cached_handler = handler
+                        if handler is None:
+                            # dispatch override / unknown action / late-bound
+                            # handler: the full dispatch path
+                            node.dispatch(record_to_message(event))
+                        else:
+                            params = event[5]
+                            topic = event[6]
+                            if topic is not None and "topic" not in params:
+                                params["topic"] = topic
+                            handler(node, **params)
+                    elif kind == _TIMEOUT:
+                        try:
+                            node = nodes[event[3]]
+                        except KeyError:
+                            continue
+                        if node.crashed:
+                            continue
+                        node.timeout_count += 1
+                        node.on_timeout()
+                        if not jitter_buffer:
+                            jitter_refill()
+                        next_at = self.now + period * (
+                            1 + (neg_jitter + jitter_span * jitter_buffer.pop()))
+                        timeout_event = (next_at, seq_next(), _TIMEOUT, event[3])
+                        if is_wheel:
+                            # inlined TimeoutWheelScheduler.push; the _count
+                            # increment is deferred to the per-block flush in
+                            # the finally (nothing reads len(scheduler)
+                            # between handler returns within a block)
+                            index = int(next_at * inv_width)
+                            pushed += 1
+                            if index <= scheduler._current_index:
+                                insert_late(timeout_event)
+                            else:
+                                try:
+                                    buckets[index].append(timeout_event)
+                                except KeyError:
+                                    buckets[index] = [timeout_event]
+                                    heappush(bucket_heap, index)
+                        else:
+                            heappush(event_heap, timeout_event)
+                    elif kind == _DELIVER:
+                        # Message-form delivery (injected corruption or
+                        # leftovers from an adversarial phase).
+                        msg = event[3]
+                        dest = msg.dest
+                        try:
+                            del channels[dest][msg.msg_id]
+                        except KeyError:
+                            continue
+                        delivered += 1
+                        stats_key = (dest, msg.action)
+                        try:
+                            received[stats_key] += 1
+                        except KeyError:
+                            received[stats_key] = 1
+                        if derived:
+                            derived.clear()
+                        node = nodes_get(dest)
+                        if node is None or node.crashed:
+                            continue
+                        node.dispatch(msg)
+                    elif kind == _CRASH:
+                        # Defensive: specials are normally excluded by the
+                        # window bound; only a push that bypassed ``_push``
+                        # (no special-times entry) can land one here.
+                        self._apply_crash(event[3])
+                        if special and special[0] == time:
+                            heappop(special)
+                    elif kind == _CALL:
+                        event[3]()
+                        if special and special[0] == time:
+                            heappop(special)
+                    if self._block_interrupted:
+                        # A handler scheduled work inside this very window (a
+                        # sub-window callback, a node added with a tiny
+                        # stagger, a zero-delay injection).  Hand the
+                        # unprocessed tail back to the scheduler and reopen
+                        # the window so the new event is ordered correctly.
+                        consumed = block.index(event) + 1
+                        break
+            except BaseException:
+                # The raising event counts as consumed.
+                consumed = 0 if event is None else block.index(event) + 1
+                raise
+            finally:
+                if pushed:
+                    scheduler._count += pushed
+                    pushed = 0
+                if consumed != n:
+                    for event in block[consumed:]:
+                        push(event)
+                block.clear()
+                self._block_end = _NEG_INF
+                self._block_interrupted = False
+                self._steps += consumed
+                if delivered:
+                    # Flushed per block (not per run) so callbacks between
+                    # blocks observe fresh totals.
+                    stats.total_delivered += delivered
+                    delivered = 0
+
+    def _run_serial(self, deadline: float) -> None:
+        """Serial fused loop: per-event pops fused with the concrete
+        scheduler (wheel bucket tail / C-level ``heappop``; custom schedulers
+        are drained in same-timestamp batches through
+        :meth:`~repro.sim.scheduler.EventScheduler.pop_batch_into`), the
+        deliver → handler → stats chain inlined without intermediate
+        wrappers.  Used for adversarial runs and custom schedulers; event
+        semantics identical to :meth:`_run_blocks` and :meth:`step`.
+        """
+        scheduler = self._scheduler
         scheduler_type = type(scheduler)
         is_wheel = scheduler_type is TimeoutWheelScheduler
         is_heap = scheduler_type is HeapScheduler
@@ -374,20 +845,21 @@ class Simulator:
         nodes_get = nodes.get
         network = self.network
         network_pop = network.pop
+        pop_record = network.pop_record
         channels = network._channels
         stats = network.stats
         received = stats._received
+        derived = stats._derived
         base_dispatch = ProtocolNode.dispatch
+        special = self._special_times
         period = self.config.timeout_period
         jitter = self.config.timeout_jitter
-        # ``uniform(-jitter, jitter)`` unrolled with its bounds precomputed:
-        # ``a + (b - a) * random()`` with a = -jitter, b - a = 2 * jitter —
-        # bit-identical to Random.uniform, minus the per-event method frame.
-        # (Float addition is non-associative: the parenthesisation in the
-        # reschedule below must stay exactly ``1 + (a + span * r)``.)
-        jitter_random = self._jitter_rng.random
+        # Same unrolled-uniform caveat as in _run_blocks: keep the exact
+        # ``1 + (a + span * r)`` parenthesisation.
         neg_jitter = -jitter
         jitter_span = jitter - neg_jitter
+        jitter_buffer = self._jitter_draws._buffer
+        jitter_refill = self._jitter_draws._refill
         steps = 0
         while True:
             # ---- pop the next due event, fused with the scheduler kind ----
@@ -456,8 +928,8 @@ class Simulator:
                     received[stats_key] += 1
                 except KeyError:
                     received[stats_key] = 1
-                if stats._derived:
-                    stats._derived = {}
+                if derived:
+                    derived.clear()
                 try:
                     node = nodes[dest]
                 except KeyError:
@@ -484,20 +956,32 @@ class Simulator:
                     continue
                 node.timeout_count += 1
                 node.on_timeout()
+                if not jitter_buffer:
+                    jitter_refill()
                 next_in = period * (
-                    1 + (neg_jitter + jitter_span * jitter_random()))
+                    1 + (neg_jitter + jitter_span * jitter_buffer.pop()))
                 push((self.now + next_in, next(seq), _TIMEOUT, node_id))
+            elif kind == _DELIVER_FAST:
+                # Record delivery through the full channel pop: this loop
+                # runs under adversaries (delivery-time checks apply) and for
+                # custom schedulers, where throughput is not the priority.
+                if pop_record(event):
+                    node = nodes_get(event[3])
+                    if node is not None and not node.crashed:
+                        node.dispatch(record_to_message(event))
             elif kind == _CRASH:
                 self._apply_crash(event[3])
-            else:
+                if special and special[0] == time:
+                    heappop(special)
+            elif kind == _CALL:
                 event[3]()
+                if special and special[0] == time:
+                    heappop(special)
         self._steps += steps
-        if deadline > self.now:
-            self.now = deadline
 
     def _run_until_time_bounded(self, deadline: float, max_steps: int) -> None:
         """Step-capped variant of :meth:`run_until_time` (rarely used; kept
-        off the fused loop so the cap stays exact at event granularity)."""
+        off the fused loops so the cap stays exact at event granularity)."""
         steps = 0
         next_time = self.scheduler.next_time
         while steps < max_steps:

@@ -82,6 +82,55 @@ DROP_PARTITION = "partition"        #: link severed by an active partition
 DROP_REASONS = (DROP_TO_CRASHED, DROP_ADVERSARY_LOSS, DROP_PARTITION)
 
 
+# --------------------------------------------------------------- fast records
+# The no-adversary send fast path stores in-flight messages as plain tuples
+# instead of Message instances: building one tuple costs ~1/5th of a slotted
+# dataclass plus its field writes, and the per-message hot path touches every
+# field at most once.  A record is simultaneously the *scheduler event* and
+# the *channel entry* — one allocation serves both roles:
+#
+#     (deliver_time, seq, kind, dest, action, params, topic, sender,
+#      send_time, msg_id)
+#
+# The first three positions match the scheduler's ``(time, seq, kind, ...)``
+# event layout (``seq`` is unique, so tuple comparison never reads past it and
+# mixed 4-/10-tuples order correctly); the tail is the struct-of-arrays row
+# the engine's block drain consumes in place.  Channels may therefore hold a
+# mix of records (fast-path sends) and Message objects (adversarial submits,
+# injected initial-state corruption); every introspection surface
+# materialises records back into equivalent Message instances on demand, so
+# external consumers never see the tuple form.  Index constants are shared
+# with the engine's fused loops.
+REC_DELIVER_TIME = 0
+REC_SEQ = 1
+REC_KIND = 2
+REC_DEST = 3
+REC_ACTION = 4
+REC_PARAMS = 5
+REC_TOPIC = 6
+REC_SENDER = 7
+REC_SEND_TIME = 8
+REC_MSG_ID = 9
+
+
+def record_to_message(record: tuple) -> "Message":
+    """Materialise a fast-path in-flight record into an equivalent
+    :class:`Message` (field-identical to what the pre-record engine stored).
+
+    The params dict is shared, not copied — records own their params exactly
+    as Messages do, so in-place topic folding keeps working."""
+    return Message(action=record[REC_ACTION], params=record[REC_PARAMS],
+                   sender=record[REC_SENDER], dest=record[REC_DEST],
+                   topic=record[REC_TOPIC], send_time=record[REC_SEND_TIME],
+                   deliver_time=record[REC_DELIVER_TIME],
+                   msg_id=record[REC_MSG_ID])
+
+
+def _materialise(entry) -> "Message":
+    """Channel entry (record tuple or Message) -> Message."""
+    return record_to_message(entry) if type(entry) is tuple else entry
+
+
 class ChannelStats:
     """Aggregated message statistics, queryable per node and per action.
 
@@ -118,6 +167,8 @@ class ChannelStats:
         self.duplicated = 0
         self.total_sent = 0
         self.total_delivered = 0
+        #: lazily derived Counter views, invalidated with ``.clear()`` — never
+        #: rebound, so the engine's fused closures may capture the dict once.
         self._derived: Dict[str, Counter] = {}
 
     # -------------------------------------------------------------- recording
@@ -127,7 +178,7 @@ class ChannelStats:
         sent = self._sent
         sent[key] = sent.get(key, 0) + 1
         if self._derived:
-            self._derived = {}
+            self._derived.clear()
 
     def record_delivery(self, msg: Message) -> None:
         self.total_delivered += 1
@@ -135,7 +186,7 @@ class ChannelStats:
         received = self._received
         received[key] = received.get(key, 0) + 1
         if self._derived:
-            self._derived = {}
+            self._derived.clear()
 
     def record_drop(self, reason: str = DROP_TO_CRASHED) -> None:
         """Account one dropped message under ``reason`` (a :data:`DROP_REASONS`
@@ -297,11 +348,14 @@ class Network:
             raise ValueError("delays must satisfy 0 < min_delay <= max_delay")
         self.min_delay = min_delay
         self.max_delay = max_delay
-        #: dest -> {msg_id -> message}.  A plain dict (not a defaultdict):
-        #: the engine's fused delivery path subscripts it, and an auto-
-        #: creating container would silently resurrect empty channels for
-        #: crashed destinations that :meth:`mark_crashed` discarded.
-        self._channels: Dict[int, Dict[int, Message]] = {}
+        #: dest -> {msg_id -> entry}.  An entry is either a :class:`Message`
+        #: (adversarial submits, injected corruption) or a fast-path record
+        #: tuple (see the module-level ``REC_*`` constants).  A plain dict
+        #: (not a defaultdict): the engine's fused delivery path subscripts
+        #: it, and an auto-creating container would silently resurrect empty
+        #: channels for crashed destinations that :meth:`mark_crashed`
+        #: discarded.
+        self._channels: Dict[int, Dict[int, Any]] = {}
         self._msg_counter = itertools.count()
         self.stats = ChannelStats()
         self._crashed: set[int] = set()
@@ -355,7 +409,7 @@ class Network:
         sent = stats._sent
         sent[key] = sent.get(key, 0) + 1
         if stats._derived:
-            stats._derived = {}
+            stats._derived.clear()
         if dest in self._crashed:
             drops = stats._drops
             drops[DROP_TO_CRASHED] = drops.get(DROP_TO_CRASHED, 0) + 1
@@ -368,6 +422,43 @@ class Network:
                 self._channels[dest] = {msg.msg_id: msg}
             return (msg,)
         return self._submit_adversarial(msg, rng, now)
+
+    def submit_batch(self, msgs: Sequence[Message], rng, now: float) -> List[Message]:
+        """Bulk sibling of :meth:`submit`: accept a burst of messages sent at
+        the same instant, drawing all delivery delays in one block.
+
+        Bitwise-identical to submitting each message individually: the fused
+        path only engages when no adversary is installed, no node has crashed
+        (a crashed destination consumes *no* delay draw on the per-message
+        path, so pre-drawing would desynchronise the stream) and ``rng``
+        exposes the :meth:`~repro.sim.rng.BatchedUniform.take` bulk draw.
+        Returns the accepted messages, each needing a delivery event.
+        """
+        if self.adversary is not None or self._crashed or not hasattr(rng, "take"):
+            accepted: List[Message] = []
+            for msg in msgs:
+                accepted.extend(self.submit(msg, rng, now))
+            return accepted
+        delays = rng.take(len(msgs))
+        next_id = self._msg_counter.__next__
+        stats = self.stats
+        stats.total_sent += len(msgs)
+        sent = stats._sent
+        channels = self._channels
+        for msg, delay in zip(msgs, delays):
+            msg_id = msg.msg_id = next_id()
+            msg.send_time = now
+            msg.deliver_time = now + delay
+            key = (msg.sender, msg.action)
+            sent[key] = sent.get(key, 0) + 1
+            dest = msg.dest
+            try:
+                channels[dest][msg_id] = msg
+            except KeyError:
+                channels[dest] = {msg_id: msg}
+        if stats._derived:
+            stats._derived.clear()
+        return list(msgs)
 
     def _submit_adversarial(self, msg: Message, rng, now: float) -> Sequence[Message]:
         """Slow path of :meth:`submit`: consult the adversary for loss,
@@ -425,13 +516,45 @@ class Network:
         received = stats._received
         received[key] = received.get(key, 0) + 1
         if stats._derived:
-            stats._derived = {}
+            stats._derived.clear()
         return pending
+
+    def pop_record(self, record: tuple) -> bool:
+        """Record-form sibling of :meth:`pop` for fast-path in-flight tuples.
+
+        Returns ``True`` if the record was still pending and is now accounted
+        as delivered; ``False`` if the destination crashed after the send or
+        an adversary installed *since* the send (e.g. between scenario runs
+        with traffic still in flight) vetoed delivery.  The record is only
+        materialised into a :class:`Message` on that rare adversarial check.
+        """
+        channel = self._channels.get(record[REC_DEST])
+        if channel is None:
+            return False
+        if channel.pop(record[REC_MSG_ID], None) is None:
+            return False
+        adversary = self.adversary
+        if adversary is not None:
+            reason = adversary.on_deliver(record_to_message(record),
+                                          record[REC_DELIVER_TIME])
+            if reason is not None:
+                self.stats.record_drop(reason)
+                return False
+        stats = self.stats
+        stats.total_delivered += 1
+        key = (record[REC_DEST], record[REC_ACTION])
+        received = stats._received
+        received[key] = received.get(key, 0) + 1
+        if stats._derived:
+            stats._derived.clear()
+        return True
 
     # ------------------------------------------------------------ inspection
     def channel_of(self, node_id: int) -> List[Message]:
-        """Return the in-flight messages currently in ``node_id``'s channel."""
-        return list(self._channels.get(node_id, {}).values())
+        """Return the in-flight messages currently in ``node_id``'s channel
+        (fast-path records materialised into :class:`Message` instances)."""
+        return [_materialise(entry)
+                for entry in self._channels.get(node_id, {}).values()]
 
     def in_flight(self) -> int:
         """Total number of undelivered messages across all channels."""
@@ -439,7 +562,8 @@ class Network:
 
     def iter_in_flight(self) -> Iterator[Message]:
         for channel in self._channels.values():
-            yield from channel.values()
+            for entry in channel.values():
+                yield record_to_message(entry) if type(entry) is tuple else entry
 
     def implicit_edges(self) -> List[tuple[int, int]]:
         """Edges ``(u, v)`` where a message in ``u``'s channel carries a
@@ -448,12 +572,18 @@ class Network:
         Reference-carrying parameters are recognised by convention: any
         parameter named ``node``, ``ref``, ``pred``, ``succ`` or ending in
         ``_ref`` whose value is an ``int`` is treated as a node reference.
+        Reads fast-path records in place — no materialisation needed.
         """
         edges = []
-        for msg in self.iter_in_flight():
-            for key, value in msg.params.items():
-                if not isinstance(value, int):
-                    continue
-                if key in ("node", "ref", "pred", "succ", "sender") or key.endswith("_ref"):
-                    edges.append((msg.dest, value))
+        for channel in self._channels.values():
+            for entry in channel.values():
+                if type(entry) is tuple:
+                    dest, params = entry[REC_DEST], entry[REC_PARAMS]
+                else:
+                    dest, params = entry.dest, entry.params
+                for key, value in params.items():
+                    if not isinstance(value, int):
+                        continue
+                    if key in ("node", "ref", "pred", "succ", "sender") or key.endswith("_ref"):
+                        edges.append((dest, value))
         return edges

@@ -100,19 +100,19 @@ class ProtocolNode:
         nothing.  Crashed nodes never send.
 
         This is the per-message hot path: the kwargs dict is freshly built by
-        the call itself, so it is handed to the message without the defensive
-        copy :meth:`Simulator.send_message` performs for external callers, and
-        submission goes through the simulator's prebound ``submit_message``
+        the call itself, so it is handed over without the defensive copy
+        :meth:`Simulator.send_message` performs for external callers, and
+        submission goes through the simulator's prebound ``_send_fast``
         closure (network, scheduler and delay source resolved once per
-        simulator, not once per message).
+        simulator, not once per message), which on the no-adversary path
+        builds an in-flight record tuple instead of a :class:`Message`.
         """
         if self.crashed or dest is None:
             return
         sim = self._sim
         if sim is None:
             raise RuntimeError(f"node {self.node_id} is not attached to a simulator")
-        sim.submit_message(Message(action=action, params=params,
-                                   sender=self.node_id, dest=dest, topic=topic))
+        sim._send_fast(self.node_id, dest, action, topic, params)
 
     # ----------------------------------------------------------------- actions
     def on_timeout(self) -> None:

@@ -87,6 +87,11 @@ class BatchedUniform:
     the network needs (``uniform`` over its bound interval), so it can be
     passed anywhere a delay RNG used to go.  Draws over any *other* interval
     are refused loudly rather than silently desynchronising the stream.
+
+    The buffer list object is **stable for the drawer's lifetime**: refills
+    mutate it in place instead of rebinding it, so the engine's fused
+    closures may capture ``_buffer`` once and keep popping from it across
+    refills.
     """
 
     __slots__ = ("a", "b", "_rng", "_batch_size", "_buffer")
@@ -102,23 +107,44 @@ class BatchedUniform:
         self._rng = rng
         self._batch_size = batch_size
         #: pending draws in REVERSE draw order, so ``list.pop()`` (O(1), off
-        #: the tail) serves them in the original order.
+        #: the tail) serves them in the original order.  The list identity
+        #: never changes (see the class docstring).
         self._buffer: List[float] = []
 
     def _refill(self) -> None:
         a, b = self.a, self.b
         width = b - a
         rand = self._rng.random
-        self._buffer = [a + width * rand() for _ in range(self._batch_size)]
-        self._buffer.reverse()
+        fresh = [a + width * rand() for _ in range(self._batch_size)]
+        fresh.reverse()
+        # Newly drawn values are served AFTER everything already pending, so
+        # in the reversed buffer they sit below the existing tail.  The
+        # in-place splice keeps the list object stable for closures.
+        self._buffer[:0] = fresh
 
     def next(self) -> float:
         """The next pre-generated ``uniform(a, b)`` draw."""
         buffer = self._buffer
         if not buffer:
             self._refill()
-            buffer = self._buffer
         return buffer.pop()
+
+    def take(self, count: int) -> List[float]:
+        """The next ``count`` draws as a fresh list, in draw order.
+
+        The bulk sibling of :meth:`next` used by the network's
+        ``submit_batch``: one call serves a whole burst of messages with two
+        C-level list operations instead of ``count`` Python-level pops.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        buffer = self._buffer
+        while len(buffer) < count:
+            self._refill()
+        taken = buffer[len(buffer) - count:]
+        del buffer[len(buffer) - count:]
+        taken.reverse()
+        return taken
 
     def uniform(self, a: float, b: float) -> float:
         """``Random.uniform``-compatible signature over the bound interval."""
@@ -130,8 +156,66 @@ class BatchedUniform:
         buffer = self._buffer
         if not buffer:
             self._refill()
-            buffer = self._buffer
         return buffer.pop()
+
+    def pending(self) -> int:
+        """Number of already-generated draws not yet served (introspection)."""
+        return len(self._buffer)
+
+
+class BatchedRandom:
+    """Pre-generated raw ``Random.random()`` draws, scaled at serve time.
+
+    Where :class:`BatchedUniform` is bound to one interval,
+    :class:`BatchedRandom` buffers the *unit* draws and applies the consumer's
+    affine transform per serve.  That makes it the right drawer for a stream
+    whose consumers interleave different uses — the simulator's jitter stream
+    serves both the one-off ``uniform(0, period)`` timeout stagger of
+    :meth:`~repro.sim.engine.Simulator.add_node` (which mid-run churn can
+    invoke at any time) and the per-timeout reschedule factor — while keeping
+    the draw *order* identical to calling the underlying ``Random`` directly.
+
+    Bitwise equality: ``Random.uniform(a, b)`` is defined as
+    ``a + (b - a) * self.random()`` with exactly one ``random()`` per call.
+    :meth:`uniform` evaluates the identical expression on the buffered draw,
+    and consumers of :attr:`_buffer` (the engine's fused timeout loop)
+    replicate their original expressions verbatim, so every float is
+    bit-identical to the unbatched engine's.
+
+    Like :class:`BatchedUniform`, the buffer list is mutated in place — never
+    rebound — so hot loops may capture it once.
+    """
+
+    __slots__ = ("_rng", "_batch_size", "_buffer")
+
+    def __init__(self, rng: random.Random, batch_size: int = 1024) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self._rng = rng
+        self._batch_size = batch_size
+        #: pending unit draws in REVERSE draw order (``pop()`` serves them in
+        #: the original order); list identity is stable across refills.
+        self._buffer: List[float] = []
+
+    def _refill(self) -> None:
+        rand = self._rng.random
+        fresh = [rand() for _ in range(self._batch_size)]
+        fresh.reverse()
+        self._buffer[:0] = fresh
+
+    def random(self) -> float:
+        """The next pre-generated unit draw."""
+        buffer = self._buffer
+        if not buffer:
+            self._refill()
+        return buffer.pop()
+
+    def uniform(self, a: float, b: float) -> float:
+        """Bit-identical to ``Random.uniform(a, b)`` on the wrapped stream."""
+        buffer = self._buffer
+        if not buffer:
+            self._refill()
+        return a + (b - a) * buffer.pop()
 
     def pending(self) -> int:
         """Number of already-generated draws not yet served (introspection)."""

@@ -1,0 +1,289 @@
+"""PR 6 tests: block-drain edge cases, the columnar scheduler path, the
+50k-node heap-vs-wheel event-log parity gate, the monotone-seq bucket sort
+contract, the optional compiled-core introspection, and the deprecated
+``repro.perf.case_runner`` shim."""
+
+from __future__ import annotations
+
+import importlib
+import random
+import sys
+
+import pytest
+
+from repro.sim import core_build_info
+from repro.sim.engine import Simulator, SimulatorConfig
+from repro.sim.node import ProtocolNode
+from repro.sim.scheduler import (
+    HeapScheduler,
+    TimeoutWheelScheduler,
+    auto_bucket_width,
+)
+
+
+def _event(time, seq, payload="p"):
+    """A minimal 4-tuple scheduler event (time, seq, kind, payload)."""
+    return (time, seq, 0, payload)
+
+
+def _drain_block(scheduler, out, limit):
+    """Full block drain below ``limit``: the wheel's ``pop_block_into``
+    deliberately stops at bucket boundaries, so callers (like the engine's
+    block loop) call it until it returns 0."""
+    total = 0
+    while True:
+        got = scheduler.pop_block_into(out, limit)
+        if not got:
+            return total
+        total += got
+
+
+def _both_schedulers():
+    return [HeapScheduler(), TimeoutWheelScheduler(bucket_width=0.25)]
+
+
+class TestBlockDrainEdges:
+    def test_empty_scheduler_blocks_are_empty(self):
+        for scheduler in _both_schedulers():
+            out = []
+            assert scheduler.pop_block_into(out, limit=10.0) == 0
+            assert out == []
+            times, kinds, payloads = [], [], []
+            assert scheduler.pop_block_columns_into(
+                times, kinds, payloads, limit=10.0) == 0
+            assert times == kinds == payloads == []
+            assert scheduler.next_time() is None
+            assert len(scheduler) == 0
+
+    def test_block_limit_is_exclusive_on_exact_boundary(self):
+        """``pop_block_into`` drains strictly below ``limit``: an event at
+        exactly the window edge belongs to the *next* block (the engine's
+        safety-window argument depends on this)."""
+        for scheduler in _both_schedulers():
+            scheduler.push(_event(1.0, 1))
+            scheduler.push(_event(1.0, 2))
+            scheduler.push(_event(0.999999, 0))
+            out = []
+            assert _drain_block(scheduler, out, limit=1.0) == 1
+            assert [e[1] for e in out] == [0]
+            # the boundary events surface once the window moves past them
+            assert _drain_block(scheduler, out, limit=1.0 + 1e-9) == 2
+            assert [e[1] for e in out] == [0, 1, 2]
+            assert len(scheduler) == 0
+
+    def test_batch_limit_is_inclusive_where_block_is_exclusive(self):
+        """Contrast case pinning the two bounds: ``pop_batch_into`` takes
+        ``time <= limit``, ``pop_block_into`` takes ``time < limit``."""
+        for scheduler in _both_schedulers():
+            scheduler.push(_event(2.0, 7))
+            block = []
+            assert _drain_block(scheduler, block, limit=2.0) == 0
+            batch = []
+            assert scheduler.pop_batch_into(batch, limit=2.0) == 1
+            assert batch[0][1] == 7
+
+    def test_wheel_rollover_at_auto_sized_width(self):
+        """Events spanning many buckets — including exact bucket-boundary
+        timestamps — drain in (time, seq) order through block pops at the
+        width :func:`auto_bucket_width` actually picks."""
+        width = auto_bucket_width(1.0, 0.1, 1.0, 0.2)
+        wheel = TimeoutWheelScheduler(bucket_width=width)
+        heap = HeapScheduler()
+        rng = random.Random(99)
+        events = []
+        for seq in range(500):
+            if seq % 10 == 0:
+                time = (seq // 10) * width  # exactly on a bucket boundary
+            else:
+                time = rng.uniform(0.0, 40 * width)
+            events.append(_event(time, seq))
+        for event in events:
+            wheel.push(event)
+            heap.push(event)
+        drained_wheel, drained_heap = [], []
+        limit = 0.0
+        while len(wheel) or len(heap):
+            limit += 3.7 * width  # windows not aligned to bucket edges
+            _drain_block(wheel, drained_wheel, limit)
+            _drain_block(heap, drained_heap, limit)
+        assert drained_wheel == drained_heap
+        assert drained_wheel == sorted(events)
+
+    def test_columnar_path_matches_rowwise_and_heap(self):
+        """``pop_block_columns_into`` transposes the identical block on both
+        schedulers: 4-tuple payloads surface as ``event[3]``, fast 10-tuple
+        records surface as the whole row."""
+        rng = random.Random(7)
+        rows = []
+        for seq in range(300):
+            time = rng.uniform(0.0, 5.0)
+            if seq % 3:
+                rows.append((time, seq, 4, seq + 1, "Ping", None, None,
+                             0, time, seq))  # fast-record shape (10-tuple)
+            else:
+                rows.append(_event(time, seq, payload=seq + 1))
+        heap, wheel = HeapScheduler(), TimeoutWheelScheduler(bucket_width=0.5)
+        reference = HeapScheduler()
+        for row in rows:
+            heap.push(row)
+            wheel.push(row)
+            reference.push(row)
+        columns = {}
+        for name, scheduler in (("heap", heap), ("wheel", wheel)):
+            times, kinds, payloads = [], [], []
+            count = 0
+            limit = 0.0
+            while len(scheduler):
+                limit += 1.1
+                while True:
+                    got = scheduler.pop_block_columns_into(
+                        times, kinds, payloads, limit)
+                    if not got:
+                        break
+                    count += got
+            assert count == len(rows)
+            columns[name] = (times, kinds, payloads)
+        assert columns["heap"] == columns["wheel"]
+        block = []
+        _drain_block(reference, block, limit=100.0)
+        assert columns["heap"][0] == [event[0] for event in block]
+        assert columns["heap"][1] == [event[2] for event in block]
+        assert columns["heap"][2] == [
+            event[3] if len(event) == 4 else event for event in block]
+
+
+class _Recorder(ProtocolNode):
+    """Logs every event it handles as ``(now, kind, node_id)``."""
+
+    __slots__ = ("log", "fanout")
+
+    def __init__(self, node_id, log, fanout):
+        super().__init__(node_id)
+        self.log = log
+        self.fanout = fanout
+
+    def on_timeout(self):
+        self.log.append((self.now, "timeout", self.node_id))
+        self.send(self.node_id % self.fanout + 1, "Ping", sender=self.node_id)
+
+    def on_Ping(self, sender, topic=None):
+        self.log.append((self.now, "ping", self.node_id))
+
+
+def _storm_log(scheduler: str, nodes: int, rounds: int):
+    sim = Simulator(SimulatorConfig(seed=4242, scheduler=scheduler))
+    log = []
+    for i in range(nodes):
+        sim.add_node(_Recorder(i + 1, log, nodes))
+    sim.run_rounds(rounds)
+    return log, sim.steps_executed
+
+
+class TestLargeScaleSchedulerParity:
+    def test_50k_node_heap_wheel_event_log_parity(self):
+        """The tentpole gate at production scale: a 50k-node storm produces
+        the identical per-event log — same timestamps, same kinds, same
+        handling order — whether the engine drains a binary heap or the
+        timeout wheel (with its monotone-seq bucket sort and auto width)."""
+        heap_log, heap_steps = _storm_log("heap", 50_000, 2)
+        wheel_log, wheel_steps = _storm_log("wheel", 50_000, 2)
+        assert heap_steps == wheel_steps
+        assert heap_steps >= 150_000  # the storm actually stormed
+        assert heap_log == wheel_log
+
+    def test_2k_node_parity_with_more_rounds(self):
+        """Smaller population, deeper in time: exercises many wheel
+        rollovers and bucket reuse cycles."""
+        heap_log, _ = _storm_log("heap", 2_000, 12)
+        wheel_log, _ = _storm_log("wheel", 2_000, 12)
+        assert heap_log == wheel_log
+
+
+class TestMonotoneSeqBucketSort:
+    def test_engine_enables_flag_only_on_its_own_wheel(self):
+        sim = Simulator(SimulatorConfig(seed=1, scheduler="wheel"))
+        assert sim.scheduler.monotone_seq is True
+        # A hand-built wheel keeps the general contract by default.
+        assert TimeoutWheelScheduler(bucket_width=0.25).monotone_seq is False
+        # ... and so does one assigned from outside the engine.
+        external = TimeoutWheelScheduler(bucket_width=0.25)
+        sim2 = Simulator(SimulatorConfig(seed=1))
+        sim2.scheduler = external
+        assert external.monotone_seq is False
+
+    def test_flag_preserves_order_for_seq_ascending_pushes(self):
+        """Under the engine's push discipline (seq strictly ascending into
+        any future bucket) the fast stable-by-time sort must reproduce the
+        full (time, seq) descending-pop order exactly."""
+        fast = TimeoutWheelScheduler(bucket_width=0.25)
+        fast.monotone_seq = True
+        slow = TimeoutWheelScheduler(bucket_width=0.25)
+        rng = random.Random(13)
+        for seq in range(2000):
+            # many timestamp ties across distinct seqs, seqs ascending
+            event = _event(round(rng.uniform(0.0, 3.0), 1), seq)
+            fast.push(event)
+            slow.push(event)
+        out_fast, out_slow = [], []
+        _drain_block(fast, out_fast, limit=10.0)
+        _drain_block(slow, out_slow, limit=10.0)
+        assert len(out_fast) == 2000
+        assert out_fast == out_slow == sorted(out_fast)
+
+
+class TestCoreBuildInfo:
+    def test_reports_mode_for_both_hot_modules(self):
+        info = core_build_info()
+        assert set(info) == {"engine", "scheduler", "compiled"}
+        assert info["engine"] in ("pure-python", "compiled")
+        assert info["scheduler"] in ("pure-python", "compiled")
+        assert info["compiled"] == (info["engine"] == "compiled"
+                                    and info["scheduler"] == "compiled")
+
+    def test_mode_matches_imported_module_files(self):
+        import repro.sim.engine as engine
+        import repro.sim.scheduler as scheduler
+
+        info = core_build_info()
+        for module, key in ((engine, "engine"), (scheduler, "scheduler")):
+            expected = ("compiled" if module.__file__.endswith((".so", ".pyd"))
+                        else "pure-python")
+            assert info[key] == expected
+
+    @pytest.mark.skipif(not core_build_info()["compiled"],
+                        reason="compiled core not built "
+                               "(scripts/build_compiled_core.py)")
+    def test_compiled_core_runs_the_storm(self):
+        """Only meaningful after ``scripts/build_compiled_core.py``: the
+        compiled extension modules must drive the engine end to end."""
+        log, steps = _storm_log("wheel", 500, 4)
+        assert steps > 0 and log
+
+
+@pytest.mark.filterwarnings("default::DeprecationWarning")
+class TestCaseRunnerShim:
+    """The legacy per-case subprocess runner is a warning stub now; these
+    tests opt back out of the repo-wide error::DeprecationWarning filter."""
+
+    def test_import_emits_deprecation_warning(self):
+        sys.modules.pop("repro.perf.case_runner", None)
+        with pytest.warns(DeprecationWarning, match="repro.exec"):
+            importlib.import_module("repro.perf.case_runner")
+
+    def test_measure_warns_and_delegates_to_exec_layer(self, monkeypatch):
+        sys.modules.pop("repro.perf.case_runner", None)
+        with pytest.warns(DeprecationWarning):
+            case_runner = importlib.import_module("repro.perf.case_runner")
+        import repro.exec.tasks as tasks
+
+        seen = {}
+
+        def fake_run_bench_case(payload):
+            seen.update(payload)
+            return {"name": payload["case"], "wall_seconds": 0.0}
+
+        monkeypatch.setattr(tasks, "run_bench_case", fake_run_bench_case)
+        with pytest.warns(DeprecationWarning, match="case_runner is deprecated"):
+            result = case_runner.measure("core_2k_wheel", repeats=2)
+        assert seen == {"case": "core_2k_wheel", "repeats": 2}
+        assert result["name"] == "core_2k_wheel"

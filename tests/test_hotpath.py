@@ -105,11 +105,21 @@ class TestPopBatch:
 
 class TestWheelAutoSizing:
     def test_auto_width_tracks_shorter_horizon(self):
-        # Delay-dominated: width follows max_delay, not the timeout period.
-        assert auto_bucket_width(10.0, 0.01, 0.2) == pytest.approx(0.05)
-        # Timeout-dominated: width follows the jittered period.
-        assert auto_bucket_width(1.0, 0.1, 50.0, 0.2) == pytest.approx(0.3)
+        # Delay-dominated: width follows max_delay, not the timeout period —
+        # and is clamped to min_delay so no send can land in the bucket
+        # being drained (the late-insert-free guarantee).
+        assert auto_bucket_width(10.0, 0.01, 0.2) == pytest.approx(0.01)
+        # Timeout-dominated: width follows the jittered period, clamped to
+        # min_delay.
+        assert auto_bucket_width(1.0, 0.1, 50.0, 0.2) == pytest.approx(0.1)
         assert auto_bucket_width(0.0, 0.0, 0.0) > 0  # never degenerate
+
+    def test_auto_width_clamp_never_degenerates(self):
+        # A microscopic min_delay must not collapse the wheel into
+        # one-event buckets: the clamp floors at 1/32 of the horizon.
+        assert auto_bucket_width(1.0, 1e-6, 1.0, 0.2) == pytest.approx(1.0 / 32.0)
+        # min_delay above the quarter-horizon width leaves it untouched.
+        assert auto_bucket_width(1.0, 0.5, 1.0, 0.2) == pytest.approx(0.25)
 
     def test_make_scheduler_uses_auto_width(self):
         wheel = make_scheduler("wheel", 1.0, min_delay=0.1, max_delay=1.0,
