@@ -138,8 +138,13 @@ COMMENTARY = {
         "(Theorem 17 under adversity) and the overlay re-legitimized after each "
         "disruption window (Theorem 8). Drops are accounted per reason "
         "(crashed-destination vs. adversary loss vs. partition), and scenario reports "
-        "are byte-identical per seed on repeat runs and across the heap/wheel "
-        "schedulers — the library doubles as a deterministic regression oracle."
+        "are byte-identical per seed across the heap/wheel schedulers **and with "
+        "telemetry enabled** — the observer does not perturb the run, so the library "
+        "doubles as a deterministic regression oracle. The telemetry rerun "
+        "(`telemetry=True` on the `SystemSpec`) additionally records every "
+        "publication's send→delivery latency into a deterministic log-bucketed "
+        "histogram; the p50/p90/p99/max digest lands in the report metadata and "
+        "satisfies `p50 ≤ p90 ≤ p99 ≤ max` by construction."
     ),
     "E13": (
         "**Beyond the paper.** All of the paper's claims are statements over "
@@ -155,7 +160,12 @@ COMMENTARY = {
         "and the K=4 cluster alike, with and without 10 % loss); derived task "
         "seeds are distinct and stable across re-expansion; the campaign "
         "artifact survives a lossless JSON round-trip and is byte-identical at "
-        "`--jobs 1` vs `--jobs N`."
+        "`--jobs 1` vs `--jobs N`. The sweep's base spec sets `telemetry=True`, "
+        "so every worker records delivery latency and the merged campaign "
+        "artifact carries cluster-wide p50/p90/p99 percentiles whose total "
+        "count is the exact sum over tasks (integer bucket merges are "
+        "order-invariant, so the merged block too is byte-identical at any "
+        "job count); render them with `python -m repro.telemetry campaign.json`."
     ),
     "A1": (
         "**Design question.** Section 3.2.1's prose integrates an unknown subscriber that "

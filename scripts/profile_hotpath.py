@@ -13,6 +13,7 @@ Usage::
     python scripts/profile_hotpath.py core_50k_wheel
     python scripts/profile_hotpath.py --top 40 --sort tottime
     python scripts/profile_hotpath.py --out storm.pstats # for snakeviz etc.
+    python scripts/profile_hotpath.py --json prof.json   # structured top-N
 
 Profiling overhead is large (~2-3x wall) and skews toward call-heavy code,
 so compare *shapes* between runs, never absolute times — the bench suite
@@ -23,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import pstats
 import sys
 from pathlib import Path
@@ -50,6 +52,9 @@ def main(argv=None) -> int:
                         help="pstats sort key (default cumulative)")
     parser.add_argument("--out", type=Path, default=None,
                         help="also dump raw pstats data to this file")
+    parser.add_argument("--json", type=Path, default=None, dest="json_out",
+                        help="also write the top-N rows as a structured JSON "
+                             "artifact (for CI upload / trend tooling)")
     parser.add_argument("--list", action="store_true",
                         help="list the bench matrix and exit")
     args = parser.parse_args(argv)
@@ -83,7 +88,49 @@ def main(argv=None) -> int:
     if args.out is not None:
         stats.dump_stats(args.out)
         print(f"wrote raw profile to {args.out}")
+    if args.json_out is not None:
+        args.json_out.write_text(json.dumps(
+            profile_payload(stats, case, events, info, args.sort, args.top),
+            indent=2, sort_keys=True) + "\n")
+        print(f"wrote JSON profile to {args.json_out}")
     return 0
+
+
+#: pstats sort key -> index into the per-function stats tuple (cc, nc, tt, ct).
+_SORT_VALUE = {"cumulative": 3, "tottime": 2, "ncalls": 1}
+
+
+def profile_payload(stats: pstats.Stats, case, events, info,
+                    sort: str, top: int) -> dict:
+    """The ``--json`` artifact: run context plus the top-N functions.
+
+    Wall times in here carry cProfile's 2-3x instrumentation overhead — the
+    artifact is for comparing *shapes* across commits (which functions climbed
+    the table), never absolute regressions; the bench suite owns those.
+    """
+    rows = []
+    for (filename, line, name), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        rows.append({
+            "function": name,
+            "file": filename,
+            "line": line,
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime": round(tt, 6),
+            "cumtime": round(ct, 6),
+        })
+    value_index = ("primitive_calls", "ncalls", "tottime", "cumtime")[
+        _SORT_VALUE[sort]]
+    rows.sort(key=lambda row: row[value_index], reverse=True)
+    return {
+        "case": case.name,
+        "description": case.description,
+        "events": events,
+        "core": dict(info),
+        "sort": sort,
+        "total_functions": len(rows),
+        "top": rows[:top],
+    }
 
 
 if __name__ == "__main__":

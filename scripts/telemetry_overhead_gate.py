@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Gate: the telemetry plumbing must be free when the knob is off.
+
+The telemetry subsystem threads two checks into the engine hot path (the
+``delivery_latency is None`` test in the gear guard and in the network pop
+paths).  This script proves they cost nothing measurable: it re-measures a
+bench case with telemetry **off** (the default — the exact configuration the
+committed baseline ran) and fails if the gating wall statistic regressed
+beyond a tight threshold against the committed ``BENCH_<id>.json``.
+
+Usage::
+
+    python scripts/telemetry_overhead_gate.py                 # core_2k_wheel
+    python scripts/telemetry_overhead_gate.py --repeats 7
+    python scripts/telemetry_overhead_gate.py --threshold 0.05
+
+The default threshold (2 %) is far tighter than the perf suite's 20 % gate,
+so this check only makes sense on hardware comparable to the baseline's
+(CI runners, or the machine that wrote the baseline).  Gating statistic:
+min over repeats, same as the perf suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf.suite import (  # noqa: E402
+    bench_path,
+    gating_wall,
+    load_bench,
+    run_case_subprocess,
+)
+
+DEFAULT_CASE = "core_2k_wheel"
+DEFAULT_THRESHOLD = 0.02
+DEFAULT_REPEATS = 5
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--case", default=DEFAULT_CASE,
+                        help=f"bench case to measure (default {DEFAULT_CASE})")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help=f"repeats; the min wall gates "
+                             f"(default {DEFAULT_REPEATS})")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed fractional regression "
+                             f"(default {DEFAULT_THRESHOLD:g} = "
+                             f"{DEFAULT_THRESHOLD:.0%})")
+    parser.add_argument("--baseline", type=Path,
+                        default=bench_path(REPO_ROOT),
+                        help="bench document to compare against "
+                             "(default the committed BENCH file)")
+    args = parser.parse_args(argv)
+
+    baseline_doc = load_bench(args.baseline)
+    baseline_case = baseline_doc.get("cases", {}).get(args.case)
+    if baseline_case is None:
+        print(f"baseline {args.baseline} has no case {args.case!r}",
+              file=sys.stderr)
+        return 2
+    base_wall, statistic = gating_wall(baseline_case)
+
+    result = run_case_subprocess(args.case, repeats=max(args.repeats, 1))
+    wall, _ = gating_wall(result)
+    ratio = wall / base_wall
+    print(f"telemetry-off overhead gate on {args.case} "
+          f"(statistic: {statistic})")
+    print(f"  baseline: {base_wall:.4f}s   measured: {wall:.4f}s   "
+          f"ratio: {ratio:.4f}")
+    if ratio > 1.0 + args.threshold:
+        print(f"FAIL: telemetry-off wall regressed "
+              f"{(ratio - 1.0):.2%} > {args.threshold:.0%} allowed",
+              file=sys.stderr)
+        return 1
+    print(f"OK: within {args.threshold:.0%} of baseline "
+          f"(telemetry plumbing is free when disabled)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

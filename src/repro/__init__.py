@@ -33,7 +33,13 @@ Strothmann, *Self-Stabilizing Supervised Publish-Subscribe Systems* (2018):
   :class:`~repro.exec.campaign.CampaignRunner` that merges the results into
   byte-reproducible campaign artifacts (``python -m repro.exec``); every
   ``--jobs N`` flag in the tree (benchmarks, experiments, scenarios) fans
-  out through it.
+  out through it,
+* a **telemetry subsystem** (:mod:`repro.telemetry`): deterministic
+  fixed-bucket latency histograms (publication→delivery, subscribe→
+  stabilization) and hook-fed phase-span timelines, switched by one
+  ``SystemSpec`` knob (``telemetry=True``), merged across exec workers into
+  byte-reproducible run and campaign artifacts, and rendered by
+  ``python -m repro.telemetry`` — off by default at zero hot-path cost.
 
 Quickstart
 ----------
@@ -77,7 +83,7 @@ from repro.api import (
 )
 from repro.exec import CampaignReport, CampaignRunner, SweepSpec, run_campaign
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ProtocolParams",

@@ -45,6 +45,11 @@ def build_system(spec: SystemSpec) -> PubSubFacadeBase:
     else:
         system = SupervisedPubSub(params=spec.params, sim_config=config)
     system.spec = spec
+    if spec.telemetry:
+        # The histogram half lives in the simulator (enabled via
+        # config.telemetry); the recorder half hooks the facade's registry.
+        from repro.telemetry.recorder import TelemetryRecorder
+        system.telemetry = TelemetryRecorder(system)
     return system
 
 
@@ -138,6 +143,13 @@ class SystemBuilder:
         A pure performance knob: event order — and therefore every report —
         is identical for any width."""
         self._spec = self._spec.with_overrides(wheel_bucket_width=width)
+        return self
+
+    def telemetry(self, enabled: bool = True) -> "SystemBuilder":
+        """Toggle run-wide telemetry (latency histograms + phase spans; see
+        :mod:`repro.telemetry`).  Enabling it moves the engine onto the
+        serial gear — report bytes stay deterministic either way."""
+        self._spec = self._spec.with_overrides(telemetry=enabled)
         return self
 
     def params(self, params: Optional[ProtocolParams] = None,

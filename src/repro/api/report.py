@@ -39,6 +39,11 @@ class RunReport:
     wall_seconds: Optional[float] = None
     #: full ScenarioReport dict when this report wraps a scenario run
     scenario: Optional[Dict[str, object]] = None
+    #: telemetry payload (histograms + spans; see
+    #: :meth:`repro.telemetry.recorder.TelemetryRecorder.to_dict`) when the
+    #: run's system was built with ``telemetry=True``.  ``None`` keeps the
+    #: serialized report byte-identical to pre-telemetry artifacts.
+    telemetry: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------ construction
     def add_row(self, *values) -> None:
@@ -75,7 +80,7 @@ class RunReport:
 
     # ------------------------------------------------------------ serialization
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out = {
             "name": self.name,
             "title": self.title,
             "headers": list(self.headers),
@@ -88,6 +93,11 @@ class RunReport:
             "scenario": self.scenario,
             "passed": self.passed,
         }
+        if self.telemetry is not None:
+            # Conditional key: telemetry-off artifacts keep their exact
+            # historical byte shape (the golden suite pins this).
+            out["telemetry"] = self.telemetry
+        return out
 
     def to_json(self, indent: Optional[int] = None) -> str:
         if indent is not None:
@@ -110,6 +120,7 @@ class RunReport:
                            in (data.get("message_stats") or {}).items()},
             wall_seconds=data.get("wall_seconds"),
             scenario=data.get("scenario"),
+            telemetry=data.get("telemetry"),
         )
 
     # ------------------------------------------------------------- converters

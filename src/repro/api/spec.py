@@ -66,6 +66,16 @@ class SystemSpec:
         performance knob: any width yields the identical event order, so
         reports never depend on it.  Reconciled with :attr:`sim` the same
         way :attr:`seed` is.
+    telemetry:
+        Enable run-wide telemetry (:mod:`repro.telemetry`): the simulator
+        records delivery-latency histograms and the builder attaches a
+        :class:`~repro.telemetry.recorder.TelemetryRecorder` to the facade
+        (``system.telemetry``), whose spans/histograms land in
+        ``RunReport.telemetry``.  Off by default — the batched fast path
+        and all report bytes are untouched; on, the engine takes the
+        serial gear.  Reconciled with :attr:`sim` like :attr:`seed`
+        (a ``sim`` with ``telemetry=True`` is inherited; a bool cannot
+        conflict).
     params:
         Protocol parameters (``None`` means paper defaults).
     sim:
@@ -84,6 +94,7 @@ class SystemSpec:
     seed: int = 0
     scheduler: str = "wheel"
     wheel_bucket_width: Optional[float] = None
+    telemetry: bool = False
     params: ProtocolParams = field(default_factory=ProtocolParams)
     sim: Optional[SimulatorConfig] = None
     max_rounds: int = DEFAULT_MAX_ROUNDS
@@ -156,7 +167,11 @@ class SystemSpec:
                 f"conflicting wheel bucket widths: spec "
                 f"{self.wheel_bucket_width} vs sim.wheel_bucket_width "
                 f"{sim.wheel_bucket_width}; set it in one place")
-        neutral = replace(sim, seed=0, scheduler="wheel", wheel_bucket_width=None)
+        if not self.telemetry:
+            # Booleans cannot conflict: True on either side simply wins.
+            object.__setattr__(self, "telemetry", sim.telemetry)
+        neutral = replace(sim, seed=0, scheduler="wheel",
+                          wheel_bucket_width=None, telemetry=False)
         object.__setattr__(self, "sim",
                            None if neutral == SimulatorConfig() else neutral)
 
@@ -184,7 +199,8 @@ class SystemSpec:
         copies it again defensively, so sharing the spec is always safe)."""
         base = self.sim if self.sim is not None else SimulatorConfig()
         return replace(base, seed=self.seed, scheduler=self.scheduler,
-                       wheel_bucket_width=self.wheel_bucket_width)
+                       wheel_bucket_width=self.wheel_bucket_width,
+                       telemetry=self.telemetry)
 
     def build(self):
         """Build the facade this spec describes (see
@@ -207,6 +223,7 @@ class SystemSpec:
             "seed": self.seed,
             "scheduler": self.scheduler,
             "wheel_bucket_width": self.wheel_bucket_width,
+            "telemetry": self.telemetry,
             "params": asdict(self.params),
             "sim": asdict(self.sim) if self.sim is not None else None,
             "max_rounds": self.max_rounds,

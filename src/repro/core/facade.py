@@ -60,6 +60,9 @@ class PubSubFacadeBase:
         #: the :class:`~repro.api.spec.SystemSpec` this facade was built from,
         #: when it came through :func:`repro.api.builder.build_system`
         self.spec = None
+        #: the :class:`~repro.telemetry.recorder.TelemetryRecorder` attached
+        #: by the builder when the spec asks for telemetry; ``None`` otherwise
+        self.telemetry = None
 
     # ------------------------------------------------------- subclass contract
     def supervisor_of(self, topic: str) -> Supervisor:

@@ -49,6 +49,12 @@ class CampaignReport:
     sweep: Dict[str, Any]
     tasks: List[Dict[str, Any]] = field(default_factory=list)
     schema: int = 1
+    #: cluster-wide telemetry merged across every task's RunReport
+    #: (histograms add exactly, span summaries aggregate; see
+    #: :func:`repro.telemetry.recorder.merge_telemetry_dicts`) — ``None``
+    #: for campaigns run without ``telemetry=True`` on the sweep base, so
+    #: their artifacts keep the historical byte shape.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def passed(self) -> bool:
@@ -66,7 +72,7 @@ class CampaignReport:
 
     # ------------------------------------------------------------ serialization
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "schema": self.schema,
             "name": self.name,
             "master_seed": self.master_seed,
@@ -74,6 +80,9 @@ class CampaignReport:
             "tasks": [dict(entry) for entry in self.tasks],
             "passed": self.passed,
         }
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry
+        return out
 
     def to_json(self, indent: Optional[int] = None) -> str:
         if indent is not None:
@@ -86,7 +95,8 @@ class CampaignReport:
         return cls(name=data["name"], master_seed=data["master_seed"],
                    sweep=dict(data["sweep"]),
                    tasks=[dict(entry) for entry in data.get("tasks", [])],
-                   schema=data.get("schema", 1))
+                   schema=data.get("schema", 1),
+                   telemetry=data.get("telemetry"))
 
     @classmethod
     def from_json(cls, text: str) -> "CampaignReport":
@@ -133,9 +143,16 @@ class CampaignRunner:
             # Walls are machine noise; the artifact must be byte-reproducible.
             report["wall_seconds"] = None
             entries.append({**task.to_dict(), "report": report})
+        # Entries are zipped in sweep order regardless of backend, so the
+        # merge order is fixed and the merged block is byte-identical at any
+        # --jobs value; it is None (no key at all) without telemetry.
+        from repro.telemetry.recorder import merge_telemetry_dicts
+        telemetry = merge_telemetry_dicts(
+            entry["report"].get("telemetry") for entry in entries)
         return CampaignReport(name=self.sweep.name,
                               master_seed=self.sweep.master_seed,
-                              sweep=self.sweep.to_dict(), tasks=entries)
+                              sweep=self.sweep.to_dict(), tasks=entries,
+                              telemetry=telemetry)
 
 
 def run_campaign(sweep: SweepSpec, jobs: int = 1,

@@ -39,7 +39,6 @@ def run_scenario_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         sweeps forward protocol/simulator knobs from their base spec that a
         bare ``ScenarioSpec`` does not carry.
     """
-    from repro.api.report import RunReport
     from repro.scenarios.runner import ScenarioRunner
     from repro.scenarios.spec import ScenarioSpec
 
@@ -59,7 +58,9 @@ def run_scenario_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         system = build_system(SystemSpec.from_dict(payload["system"]))
 
     runner = ScenarioRunner(spec, seed=seed, scheduler=scheduler, system=system)
-    return RunReport.from_scenario(runner.run()).to_dict()
+    # run_report() == RunReport.from_scenario(runner.run()) plus the
+    # telemetry payload when the system was built with telemetry=True.
+    return runner.run_report().to_dict()
 
 
 def run_experiment_task(payload: Dict[str, Any]) -> Dict[str, Any]:

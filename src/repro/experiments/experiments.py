@@ -508,12 +508,17 @@ def e12_adversarial_scenarios(seed: int = 5) -> RunReport:
     heals**, every publication that survived anywhere still reaches every
     surviving subscriber (Theorem 17 under adversity), and the overlay
     re-legitimizes after each disruption window (Theorem 8).  Reports are
-    byte-identical per seed across repeat runs and across the heap/wheel
-    schedulers, which makes the whole scenario library usable as a regression
-    oracle.
+    byte-identical per seed across the heap/wheel schedulers and with
+    telemetry enabled (the observer does not perturb the run), which makes
+    the whole scenario library usable as a regression oracle — now with
+    publication→delivery latency percentiles riding along.
     """
+    import json as _json
+
+    from repro.api.builder import build_system
     from repro.scenarios import (PartitionSpec, PhaseSpec, ScenarioSpec,
                                  get_scenario, run_scenario)
+    from repro.scenarios.runner import ScenarioRunner
 
     result = RunReport(
         name="E12",
@@ -534,17 +539,29 @@ def e12_adversarial_scenarios(seed: int = 5) -> RunReport:
                            phase.relegitimize_rounds, delivered,
                            adversary_drops, phase.passed)
 
-    # Determinism probe: one scenario, both schedulers, plus a repeat run.
-    wheel = run_scenario(get_scenario("lossy-network"), seed=seed,
-                         scheduler="wheel")
-    heap = run_scenario(get_scenario("lossy-network"), seed=seed,
-                        scheduler="heap")
-    rerun = run_scenario(get_scenario("lossy-network"), seed=seed,
-                         scheduler="wheel")
+    # Determinism probe: one scenario, both schedulers, plus a rerun with
+    # telemetry enabled — the histograms observe the run without perturbing
+    # it, so the scenario JSON stays byte-identical to the plain run.
+    lossy = get_scenario("lossy-network")
+    wheel = run_scenario(lossy, seed=seed, scheduler="wheel")
+    heap = run_scenario(lossy, seed=seed, scheduler="heap")
+    telem_system = build_system(lossy.system_spec(seed=seed, scheduler="wheel")
+                                .with_overrides(telemetry=True))
+    telem = ScenarioRunner(lossy, seed=seed, scheduler="wheel",
+                           system=telem_system).run_report()
     result.claim("same seed ⇒ byte-identical report JSON on heap and wheel",
                  wheel.to_json() == heap.to_json())
-    result.claim("same seed ⇒ byte-identical report JSON on repeat runs",
-                 wheel.to_json() == rerun.to_json())
+    result.claim("telemetry-enabled rerun ⇒ byte-identical scenario JSON",
+                 wheel.to_json() == _json.dumps(telem.scenario, sort_keys=True,
+                                                separators=(",", ":")))
+    latency = ((telem.telemetry or {}).get("delivery_latency") or {})
+    pcts = latency.get("summary") or {}
+    ordered = [pcts.get("p50"), pcts.get("p90"), pcts.get("p99"),
+               pcts.get("max")]
+    result.claim("telemetry: delivery-latency p50 ≤ p90 ≤ p99 ≤ max recorded",
+                 all(v is not None for v in ordered)
+                 and ordered[0] <= ordered[1] <= ordered[2] <= ordered[3])
+    result.metadata["delivery_latency"] = dict(pcts)
     add_report_rows(wheel)
 
     # Headline: 10% loss AND a healed partition in one disruption window.
@@ -598,6 +615,10 @@ def e13_parallel_campaign(seed: int = 0, jobs: int = 1) -> RunReport:
     from repro.exec.demo import e13_loss_shards
 
     sweep = e13_loss_shards(seed=seed)
+    # telemetry=True on the base spec rides into every worker through the
+    # payload's system dict, so the merged campaign artifact carries
+    # cluster-wide delivery-latency percentiles on top of the per-task ones.
+    sweep = sweep.with_overrides(base=sweep.base.with_overrides(telemetry=True))
     campaign = CampaignRunner(sweep, jobs=jobs).run()
 
     result = RunReport(
@@ -628,8 +649,22 @@ def e13_parallel_campaign(seed: int = 0, jobs: int = 1) -> RunReport:
     result.claim("campaign artifact JSON round-trips losslessly",
                  CampaignReport.from_json(campaign.to_json()).to_json()
                  == campaign.to_json())
+
+    merged = campaign.telemetry or {}
+    latency = (merged.get("delivery_latency") or {}).get("summary") or {}
+    result.claim("merged campaign telemetry has delivery-latency percentiles",
+                 all(latency.get(k) is not None
+                     for k in ("p50", "p90", "p99", "max")))
+    per_task_counts = [((entry["report"].get("telemetry") or {})
+                        .get("delivery_latency") or {})
+                       .get("summary", {}).get("count", 0)
+                       for entry in campaign.tasks]
+    result.claim("merged delivery-latency count is the exact sum over tasks",
+                 latency.get("count") == sum(per_task_counts)
+                 and sum(per_task_counts) > 0)
     result.metadata.update({"seed": seed, "tasks": len(campaign.tasks),
-                            "sweep": campaign.name})
+                            "sweep": campaign.name,
+                            "delivery_latency": dict(latency)})
     return result
 
 

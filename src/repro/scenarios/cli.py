@@ -84,6 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run scenarios across N worker processes "
                              "(default 1 = inline; reports are byte-identical "
                              "either way)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="collect latency histograms and phase spans "
+                             "(telemetry=True on the system spec) and render "
+                             "them after each report")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the full RunReport JSON (including the "
+                             "telemetry payload; render it with "
+                             "`python -m repro.telemetry PATH`)")
     return parser
 
 
@@ -107,20 +115,56 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # --jobs N uses one fresh worker process per scenario.  Both paths
     # canonicalize reports through the same JSON boundary, so the printed
     # output is byte-identical regardless of the job count.
-    tasks = [TaskSpec(task_id=spec.name,
-                      fn="repro.exec.tasks:run_scenario_task",
-                      payload={"spec": spec.to_dict(), "seed": args.seed,
-                               "scheduler": args.scheduler})
-             for spec in specs]
+    tasks = []
+    for spec in specs:
+        payload = {"spec": spec.to_dict(), "seed": args.seed,
+                   "scheduler": args.scheduler}
+        if args.telemetry:
+            # The worker builds the facade from this spec, so the histograms
+            # and spans are recorded inside the run — not bolted on after.
+            payload["system"] = (
+                spec.system_spec(seed=args.seed, scheduler=args.scheduler)
+                .with_overrides(telemetry=True).to_dict())
+        tasks.append(TaskSpec(task_id=spec.name,
+                              fn="repro.exec.tasks:run_scenario_task",
+                              payload=payload))
     results = backend_for_jobs(max(args.jobs, 1)).run(tasks)
     all_passed = True
     outputs: List[str] = []
     for result in results:
         report = ScenarioReport.from_dict(result["scenario"])
         all_passed &= report.passed
-        outputs.append(report.to_json() if args.json else render_report(report))
+        if args.json:
+            outputs.append(report.to_json())
+        else:
+            text = render_report(report)
+            if result.get("telemetry"):
+                from repro.telemetry.cli import render_telemetry
+                text += "\n\n" + render_telemetry(result["telemetry"])
+            outputs.append(text)
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, results)
     print("\n\n".join(outputs) if not args.json else "\n".join(outputs))
     return 0 if all_passed else 1
+
+
+def _write_metrics(path: str, results: List[dict]) -> None:
+    """Canonical RunReport JSON artifact: a single report verbatim, or
+    ``{"reports": [...], "telemetry": <merged>}`` for multi-scenario runs —
+    both shapes render with ``python -m repro.telemetry``."""
+    import json
+
+    from repro.telemetry.recorder import merge_telemetry_dicts
+
+    if len(results) == 1:
+        artifact: dict = results[0]
+    else:
+        artifact = {"reports": list(results),
+                    "telemetry": merge_telemetry_dicts(
+                        result.get("telemetry") for result in results)}
+    with open(path, "w") as handle:
+        json.dump(artifact, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -26,6 +26,7 @@ order); no wall-clock value ever enters the report.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -206,6 +207,7 @@ class ScenarioRunner:
         self.system.sim.install_adversary(self.adversary)
         #: topic -> keys published by the scenario so far
         self._published: Dict[str, Set[str]] = {t: set() for t in spec.topics}
+        self._warned_truncated = False
 
     # ------------------------------------------------------------------- run
     def run(self) -> ScenarioReport:
@@ -229,12 +231,33 @@ class ScenarioRunner:
 
         for index, phase in enumerate(spec.phases):
             report.phases.append(self._run_phase(index, phase))
+        self._warn_if_truncated()
         return report
+
+    def _warn_if_truncated(self) -> None:
+        """Warn (once per runner) when the report was built from a trace
+        whose event log hit the ``Tracer.max_events`` cap — any analysis of
+        ``sim.tracer.events`` would silently see a prefix of the run."""
+        tracer = self.system.sim.tracer
+        if tracer.truncated and not self._warned_truncated:
+            self._warned_truncated = True
+            warnings.warn(
+                f"scenario {self.spec.name!r}: trace event log truncated at "
+                f"max_events={tracer.max_events} "
+                f"({tracer.events_dropped} events dropped); counters and the "
+                f"report are complete, but sim.tracer.events is a prefix",
+                RuntimeWarning, stacklevel=3)
 
     def run_report(self) -> RunReport:
         """Run the scenario and return the unified
-        :class:`~repro.api.report.RunReport` view of its result."""
-        return self.run().to_run_report()
+        :class:`~repro.api.report.RunReport` view of its result — with the
+        system's telemetry payload attached when the facade was built with
+        ``telemetry=True``."""
+        report = self.run().to_run_report()
+        recorder = getattr(self.system, "telemetry", None)
+        if recorder is not None:
+            report.telemetry = recorder.to_dict()
+        return report
 
     # ----------------------------------------------------------------- phases
     def _live_members(self) -> List[int]:

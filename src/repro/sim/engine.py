@@ -39,6 +39,7 @@ import itertools
 import math
 import random
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import heapq
@@ -86,6 +87,14 @@ class SimulatorConfig:
         bounds (:func:`~repro.sim.scheduler.auto_bucket_width`).  The width
         only tunes performance — event order, and therefore every report, is
         identical for any width.
+    telemetry:
+        Enable run-wide latency telemetry (:mod:`repro.telemetry`): the
+        network records every message's send→delivery latency into a
+        deterministic histogram (``network.stats.delivery_latency``).  Off
+        by default; enabling it takes the engine off the batched block
+        drain onto the serial gear — the same cost model as running under
+        a link adversary — which is why the hot path stays byte- and
+        wall-identical when the knob is off.
     """
 
     seed: int = 0
@@ -97,6 +106,7 @@ class SimulatorConfig:
     keep_trace_events: bool = False
     scheduler: str = "wheel"
     wheel_bucket_width: Optional[float] = None
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.timeout_period <= 0:
@@ -135,7 +145,7 @@ class Simulator:
                  "nodes", "_seq", "_delay_rng", "_delay_draws", "_jitter_rng",
                  "_jitter_draws", "_adversary_rng", "_steps", "_special_times",
                  "_block_end", "_block_interrupted", "_scheduler",
-                 "submit_message", "_send_fast")
+                 "submit_message", "_send_fast", "_profile")
 
     def __init__(self, config: Optional[SimulatorConfig] = None) -> None:
         self.config = config or SimulatorConfig()
@@ -160,6 +170,10 @@ class Simulator:
         self._jitter_draws = BatchedRandom(self._jitter_rng)
         self._adversary_rng = derive_rng(self.config.seed, "adversary")
         self._steps = 0
+        #: opt-in wall-clock drain accounting (see :meth:`enable_profiling`)
+        self._profile: Optional[Dict[str, Any]] = None
+        if self.config.telemetry:
+            self.network.stats.enable_latency()
         #: min-heap of pending crash/callback event times — these are the only
         #: events a handler can schedule *inside* a block window, so the block
         #: drain clips its window at the earliest of them (see ``_push``)
@@ -550,9 +564,17 @@ class Simulator:
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
+        profile = self._profile
+        if profile is not None:
+            wall_start = perf_counter()
+            steps_before = self._steps
         try:
             scheduler_type = type(self._scheduler)
+            # Latency telemetry needs the per-message delivery path, so a
+            # histogram on the stats forces the serial gear exactly like an
+            # installed adversary does.
             if (self.network.adversary is None
+                    and self.network.stats.delivery_latency is None
                     and (scheduler_type is TimeoutWheelScheduler
                          or scheduler_type is HeapScheduler)):
                 self._run_blocks(deadline)
@@ -561,6 +583,10 @@ class Simulator:
         finally:
             if gc_was_enabled:
                 gc.enable()
+            if profile is not None:
+                profile["drains"] += 1
+                profile["wall_seconds"] += perf_counter() - wall_start
+                profile["steps"] += self._steps - steps_before
         if deadline > self.now:
             self.now = deadline
 
@@ -850,6 +876,7 @@ class Simulator:
         stats = network.stats
         received = stats._received
         derived = stats._derived
+        latency_hist = stats.delivery_latency  # None unless telemetry is on
         base_dispatch = ProtocolNode.dispatch
         special = self._special_times
         period = self.config.timeout_period
@@ -923,6 +950,8 @@ class Simulator:
                 except KeyError:
                     continue  # destination crashed after the send
                 stats.total_delivered += 1
+                if latency_hist is not None:
+                    latency_hist.record(msg.deliver_time - msg.send_time)
                 stats_key = (dest, msg.action)
                 try:
                     received[stats_key] += 1
@@ -1027,3 +1056,28 @@ class Simulator:
     @property
     def steps_executed(self) -> int:
         return self._steps
+
+    # ------------------------------------------------------------- profiling
+    def enable_profiling(self) -> None:
+        """Opt-in wall-clock drain accounting for :meth:`run_until_time`.
+
+        Each drain (one ``run_until_time`` call — a block-drain or serial
+        sweep) adds its real wall time and event count to a running tally.
+        The tally is wall-clock data: it never enters a deterministic
+        report, only profiling artifacts (``scripts/profile_hotpath.py``).
+        Idempotent; costs two ``perf_counter`` calls per drain when on and
+        a single ``None`` test when off.
+        """
+        if self._profile is None:
+            self._profile = {"drains": 0, "wall_seconds": 0.0, "steps": 0}
+
+    def profile_snapshot(self) -> Optional[Dict[str, Any]]:
+        """Copy of the drain tally (``None`` when profiling is off)."""
+        if self._profile is None:
+            return None
+        snapshot = dict(self._profile)
+        snapshot["wall_seconds"] = round(snapshot["wall_seconds"], 6)
+        if snapshot["wall_seconds"] > 0 and snapshot["steps"]:
+            snapshot["events_per_sec"] = round(
+                snapshot["steps"] / snapshot["wall_seconds"])
+        return snapshot

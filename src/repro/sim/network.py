@@ -155,7 +155,7 @@ class ChannelStats:
     """
 
     __slots__ = ("_sent", "_received", "_drops", "duplicated", "total_sent",
-                 "total_delivered", "_derived")
+                 "total_delivered", "delivery_latency", "_derived")
 
     def __init__(self) -> None:
         #: raw (sender-or-None, action) -> count and (dest, action) -> count
@@ -167,9 +167,22 @@ class ChannelStats:
         self.duplicated = 0
         self.total_sent = 0
         self.total_delivered = 0
+        #: optional :class:`~repro.telemetry.histogram.LatencyHistogram` of
+        #: send→delivery latency in sim seconds.  ``None`` (the default)
+        #: keeps the hot paths latency-blind; :meth:`enable_latency` turns it
+        #: on (``SimulatorConfig.telemetry`` does so at build time), and a
+        #: non-``None`` value also forces the engine off the batched block
+        #: drain — per-message observation needs the serial gear.
+        self.delivery_latency = None
         #: lazily derived Counter views, invalidated with ``.clear()`` — never
         #: rebound, so the engine's fused closures may capture the dict once.
         self._derived: Dict[str, Counter] = {}
+
+    def enable_latency(self) -> None:
+        """Attach a delivery-latency histogram (idempotent)."""
+        if self.delivery_latency is None:
+            from repro.telemetry.histogram import LatencyHistogram
+            self.delivery_latency = LatencyHistogram()
 
     # -------------------------------------------------------------- recording
     def record_send(self, msg: Message) -> None:
@@ -182,6 +195,8 @@ class ChannelStats:
 
     def record_delivery(self, msg: Message) -> None:
         self.total_delivered += 1
+        if self.delivery_latency is not None:
+            self.delivery_latency.record(msg.deliver_time - msg.send_time)
         key = (msg.dest, msg.action)
         received = self._received
         received[key] = received.get(key, 0) + 1
@@ -282,11 +297,18 @@ class ChannelStats:
             return self._view("sent_by_node")[node_id]
         return self._sent.get((node_id, action), 0)
 
-    def to_summary_dict(self) -> Dict[str, object]:
+    def to_summary_dict(self, include_latency: Optional[bool] = None
+                        ) -> Dict[str, object]:
         """A JSON-safe summary of the statistics (totals, per-action sends,
         per-reason drops) — the shape :class:`~repro.api.report.RunReport`
-        embeds as a message-stat snapshot."""
-        return {
+        embeds as a message-stat snapshot.
+
+        ``include_latency=None`` (the default) appends a
+        ``"delivery_latency"`` block exactly when a latency histogram is
+        attached, so summaries of telemetry-off runs keep their historical
+        keys byte-for-byte.  Pass ``True``/``False`` to force either shape.
+        """
+        out: Dict[str, object] = {
             "total_sent": self.total_sent,
             "total_delivered": self.total_delivered,
             "total_dropped": self.total_dropped,
@@ -296,6 +318,11 @@ class ChannelStats:
             "sent_by_action": dict(sorted(self._view("sent_by_action").items())),
             "received_by_action": dict(sorted(self._view("received_by_action").items())),
         }
+        if include_latency is None:
+            include_latency = self.delivery_latency is not None
+        if include_latency and self.delivery_latency is not None:
+            out["delivery_latency"] = self.delivery_latency.summary()
+        return out
 
     def snapshot(self) -> "ChannelStats":
         """Return a deep copy usable as a baseline for differential counting."""
@@ -306,10 +333,14 @@ class ChannelStats:
         clone.duplicated = self.duplicated
         clone.total_sent = self.total_sent
         clone.total_delivered = self.total_delivered
+        if self.delivery_latency is not None:
+            clone.delivery_latency = self.delivery_latency.copy()
         return clone
 
     def delta(self, baseline: "ChannelStats") -> "ChannelStats":
-        """Return the difference ``self - baseline`` (counter-wise)."""
+        """Return the difference ``self - baseline`` (counter-wise).  When
+        both sides carry a latency histogram the delta carries the bucket
+        difference too (differential per-phase latency accounting)."""
         diff = ChannelStats()
         diff._sent = _dict_delta(self._sent, baseline._sent)
         diff._received = _dict_delta(self._received, baseline._received)
@@ -317,6 +348,12 @@ class ChannelStats:
         diff.duplicated = self.duplicated - baseline.duplicated
         diff.total_sent = self.total_sent - baseline.total_sent
         diff.total_delivered = self.total_delivered - baseline.total_delivered
+        if (self.delivery_latency is not None
+                and baseline.delivery_latency is not None):
+            diff.delivery_latency = self.delivery_latency.delta(
+                baseline.delivery_latency)
+        elif self.delivery_latency is not None:
+            diff.delivery_latency = self.delivery_latency.copy()
         return diff
 
 
@@ -512,6 +549,9 @@ class Network:
                 return None
         stats = self.stats
         stats.total_delivered += 1
+        if stats.delivery_latency is not None:
+            stats.delivery_latency.record(
+                pending.deliver_time - pending.send_time)
         key = (pending.dest, pending.action)
         received = stats._received
         received[key] = received.get(key, 0) + 1
@@ -542,6 +582,9 @@ class Network:
                 return False
         stats = self.stats
         stats.total_delivered += 1
+        if stats.delivery_latency is not None:
+            stats.delivery_latency.record(
+                record[REC_DELIVER_TIME] - record[REC_SEND_TIME])
         key = (record[REC_DEST], record[REC_ACTION])
         received = stats._received
         received[key] = received.get(key, 0) + 1

@@ -35,13 +35,26 @@ class Tracer:
         self.counters: Counter = Counter()
         self.series: Dict[str, List[tuple[float, float]]] = defaultdict(list)
         self.marks: Dict[str, float] = {}
+        #: events that would have been stored but fell past ``max_events``
+        #: (counters still counted them; only the event *objects* are gone)
+        self.events_dropped = 0
+
+    @property
+    def truncated(self) -> bool:
+        """True when at least one event was dropped at the ``max_events``
+        cap — consumers of :attr:`events` are seeing a prefix, not the run."""
+        return self.events_dropped > 0
 
     # ------------------------------------------------------------------ events
     def record(self, time: float, kind: str, node: Optional[int] = None, **data: Any) -> None:
         """Log an event and bump the counter named after its kind."""
         self.counters[kind] += 1
-        if self.keep_events and len(self.events) < self.max_events:
-            self.events.append(TraceEvent(time=time, kind=kind, node=node, data=data))
+        if self.keep_events:
+            if len(self.events) < self.max_events:
+                self.events.append(
+                    TraceEvent(time=time, kind=kind, node=node, data=data))
+            else:
+                self.events_dropped += 1
 
     def count(self, kind: str, amount: int = 1) -> None:
         """Increment the counter ``kind`` without logging an event."""
@@ -77,4 +90,6 @@ class Tracer:
             "marks": dict(self.marks),
             "series_lengths": {k: len(v) for k, v in self.series.items()},
             "num_events": len(self.events),
+            "events_dropped": self.events_dropped,
+            "truncated": self.truncated,
         }

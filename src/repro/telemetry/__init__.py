@@ -1,0 +1,36 @@
+"""Run-wide deterministic telemetry: latency histograms, phase spans, CLI.
+
+Everything here is byte-reproducible by construction (integer bucket
+counts, spec-derived bounds, rounded sim-time floats) so telemetry can ride
+inside the canonical report artifacts without breaking their byte-identity
+guarantees.  The subsystem is off by default (``SystemSpec.telemetry`` /
+``SimulatorConfig.telemetry``); enabling it moves the engine onto the
+serial gear — the cost model is the same as running under an adversary.
+
+Public surface:
+
+* :class:`~repro.telemetry.histogram.LatencyHistogram` — log-bucketed,
+  mergeable latency counts with report-time percentiles.
+* :class:`~repro.telemetry.spans.SpanTimeline` — sim-time phase spans.
+* :class:`~repro.telemetry.recorder.TelemetryRecorder` — per-system
+  collector wired into the typed hook registry (``system.telemetry``).
+* ``python -m repro.telemetry`` / ``repro-metrics`` — render telemetry
+  from any RunReport/CampaignReport JSON artifact.
+"""
+
+from repro.telemetry.histogram import (LatencyHistogram, ROUNDS_SPEC,
+                                       SIM_SECONDS_SPEC, bounds_from_spec,
+                                       merge_histogram_dicts)
+from repro.telemetry.recorder import TelemetryRecorder, merge_telemetry_dicts
+from repro.telemetry.spans import SpanTimeline
+
+__all__ = [
+    "LatencyHistogram",
+    "ROUNDS_SPEC",
+    "SIM_SECONDS_SPEC",
+    "SpanTimeline",
+    "TelemetryRecorder",
+    "bounds_from_spec",
+    "merge_histogram_dicts",
+    "merge_telemetry_dicts",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.telemetry`` — see :mod:`repro.telemetry.cli`."""
+
+from repro.telemetry.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,128 @@
+"""``repro-metrics`` — render telemetry from report JSON artifacts.
+
+Usage::
+
+    python -m repro.telemetry report.json            # histogram + span tables
+    python -m repro.telemetry campaign.json --spans  # also list raw spans
+    python -m repro.telemetry report.json --json     # telemetry payload only
+
+Accepts any :class:`~repro.api.report.RunReport` or
+:class:`~repro.exec.campaign.CampaignReport` JSON artifact (``--out`` of the
+scenario/sweep CLIs, a saved ``run_report().to_json()``, …).  For a campaign
+the merged cluster-wide telemetry is rendered; if the artifact predates the
+merged block but its per-task reports carry telemetry, the merge happens
+here at render time.  Exits 1 when the artifact carries no telemetry at all
+(i.e. it was produced with ``telemetry=False``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.report import format_table
+from repro.telemetry.histogram import LatencyHistogram
+from repro.telemetry.recorder import merge_telemetry_dicts
+
+
+def _load(path: str) -> Dict[str, Any]:
+    text = sys.stdin.read() if path == "-" else Path(path).read_text()
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: not a report object")
+    return data
+
+
+def extract_telemetry(data: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """The telemetry payload of a RunReport or CampaignReport dict."""
+    if "tasks" in data and "sweep" in data:  # CampaignReport shape
+        merged = data.get("telemetry")
+        if merged:
+            return merged
+        return merge_telemetry_dicts(
+            entry.get("report", {}).get("telemetry")
+            for entry in data.get("tasks", []))
+    return data.get("telemetry")  # RunReport shape
+
+
+def _histogram_lines(label: str, payload: Dict[str, Any]) -> List[str]:
+    hist = LatencyHistogram.from_dict(payload)
+    summary = hist.summary()
+    lines = [f"{label} ({hist.unit}): count={summary['count']} "
+             f"p50={summary['p50']} p90={summary['p90']} "
+             f"p99={summary['p99']} max={summary['max']}"]
+    if hist.total:
+        rows = []
+        cumulative = 0
+        lower = 0.0
+        for bound, count in zip(hist.bounds, hist.counts):
+            if count:
+                cumulative += count
+                rows.append((f"({lower:g}, {bound:g}]", count,
+                             f"{100.0 * cumulative / hist.total:.1f}%"))
+            lower = bound
+        if hist.overflow:
+            cumulative += hist.overflow
+            rows.append((f"> {hist.bounds[-1]:g}", hist.overflow, "100.0%"))
+        lines.append(format_table(["bucket", "count", "cum"], rows))
+    return lines
+
+
+def render_telemetry(payload: Dict[str, Any], spans: bool = False) -> str:
+    parts: List[str] = []
+    if "runs" in payload:
+        parts.append(f"merged telemetry across {payload['runs']} runs")
+    for label, key in (("delivery latency", "delivery_latency"),
+                       ("stabilization latency", "stabilization_rounds")):
+        if payload.get(key):
+            if parts:
+                parts.append("")
+            parts.extend(_histogram_lines(label, payload[key]))
+    span_summary = payload.get("span_summary")
+    if span_summary:
+        parts.append("")
+        parts.append("spans:")
+        parts.append(format_table(
+            ["kind", "count", "total (sim s)", "max (sim s)"],
+            [(kind, entry["count"], entry["total"], entry["max"])
+             for kind, entry in sorted(span_summary.items())]))
+    if spans and payload.get("spans"):
+        parts.append("")
+        parts.append("span timeline:")
+        parts.append(format_table(
+            ["kind", "name", "start", "end"],
+            [tuple(row) for row in payload["spans"]]))
+    return "\n".join(parts)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-metrics", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("report", help="RunReport or CampaignReport JSON "
+                                       "file ('-' reads stdin)")
+    parser.add_argument("--spans", action="store_true",
+                        help="also list the raw span timeline")
+    parser.add_argument("--json", action="store_true",
+                        help="print the telemetry payload as canonical JSON "
+                             "instead of tables")
+    args = parser.parse_args(argv)
+
+    data = _load(args.report)
+    payload = extract_telemetry(data)
+    if not payload:
+        print(f"{args.report}: no telemetry in artifact (was the run built "
+              f"with telemetry=True?)", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+    else:
+        print(render_telemetry(payload, spans=args.spans))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())
