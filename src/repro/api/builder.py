@@ -153,7 +153,7 @@ class SystemBuilder:
         return self
 
     def params(self, params: Optional[ProtocolParams] = None,
-               **overrides) -> "SystemBuilder":
+               **overrides: object) -> "SystemBuilder":
         """Set protocol params wholesale and/or override individual fields."""
         base = params or self._spec.params
         if overrides:
@@ -162,7 +162,7 @@ class SystemBuilder:
         return self
 
     def sim(self, config: Optional[SimulatorConfig] = None,
-            **overrides) -> "SystemBuilder":
+            **overrides: object) -> "SystemBuilder":
         """Set simulator knobs (seed/scheduler stay governed by the spec)."""
         base = config if config is not None else \
             (self._spec.sim or SimulatorConfig())
@@ -188,7 +188,7 @@ class SystemBuilder:
     def build(self) -> PubSubFacadeBase:
         return build_system(self._spec)
 
-    def build_stable(self, n: int = 16, **kwargs
+    def build_stable(self, n: int = 16, **kwargs: object
                      ) -> Tuple[PubSubFacadeBase, List[Subscriber]]:
         return build_stable(self._spec, n, **kwargs)
 

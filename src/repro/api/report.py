@@ -46,13 +46,13 @@ class RunReport:
     telemetry: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------ construction
-    def add_row(self, *values) -> None:
+    def add_row(self, *values: object) -> None:
         self.rows.append(tuple(values))
 
     def claim(self, description: str, holds: bool) -> None:
         self.claims[description] = bool(holds)
 
-    def record_message_stats(self, label: str, system) -> None:
+    def record_message_stats(self, label: str, system: Any) -> None:
         """Snapshot ``system``'s message statistics under ``label`` (accepts a
         facade or a :class:`~repro.sim.network.ChannelStats`)."""
         stats = system.message_stats() if hasattr(system, "message_stats") else system
@@ -125,7 +125,7 @@ class RunReport:
 
     # ------------------------------------------------------------- converters
     @classmethod
-    def from_scenario(cls, report) -> "RunReport":
+    def from_scenario(cls, report: Any) -> "RunReport":
         """Wrap a :class:`~repro.scenarios.runner.ScenarioReport` losslessly.
 
         The primary table mirrors the CLI's per-phase rendering, the claims

@@ -179,7 +179,7 @@ class SystemSpec:
     @classmethod
     def from_legacy(cls, seed: int = 0, params: Optional[ProtocolParams] = None,
                     sim_config: Optional[SimulatorConfig] = None,
-                    **overrides) -> "SystemSpec":
+                    **overrides: object) -> "SystemSpec":
         """Map a legacy ``(seed=..., params=..., sim_config=...)`` facade
         constructor call onto a spec.
 
@@ -202,13 +202,13 @@ class SystemSpec:
                        wheel_bucket_width=self.wheel_bucket_width,
                        telemetry=self.telemetry)
 
-    def build(self):
+    def build(self) -> Any:
         """Build the facade this spec describes (see
         :func:`repro.api.builder.build_system`)."""
         from repro.api.builder import build_system
         return build_system(self)
 
-    def build_stable(self, n: int = 16, **kwargs):
+    def build_stable(self, n: int = 16, **kwargs: object) -> Any:
         """Build and stabilize (see :func:`repro.api.builder.build_stable`)."""
         from repro.api.builder import build_stable
         return build_stable(self, n, **kwargs)
@@ -248,6 +248,6 @@ class SystemSpec:
     def from_json(cls, text: str) -> "SystemSpec":
         return cls.from_dict(json.loads(text))
 
-    def with_overrides(self, **kwargs) -> "SystemSpec":
+    def with_overrides(self, **kwargs: object) -> "SystemSpec":
         """A copy with top-level fields replaced."""
         return replace(self, **kwargs)

@@ -16,7 +16,7 @@ tests and examples to double-check the analytic counts.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Set
 
 

@@ -11,7 +11,7 @@ need.  The function below gives the round count for comparison tables.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 
 def push_gossip_rounds(n: int, seed: int = 0, fanout: int = 1,

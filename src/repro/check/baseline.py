@@ -1,0 +1,86 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline file is a JSON document of finding dicts.  Matching is by
+*multiset* of the line-insensitive finding key (rule, path, message): each
+baseline entry absorbs at most one current finding, so a second identical
+regression in the same file is still reported, and entries that no longer
+match anything are surfaced as *stale* so the file shrinks as debt is paid
+down.  Line numbers are stored for human navigation only.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.check.findings import Finding
+
+#: Default baseline file name, looked up next to ``pyproject.toml``.
+BASELINE_FILENAME = ".repro-check-baseline.json"
+
+_Key = Tuple[str, str, str]
+
+
+class Baseline:
+    """Multiset of grandfathered finding keys with stale-entry tracking."""
+
+    def __init__(self, findings: Iterable[Finding] = ()) -> None:
+        self.entries: List[Finding] = sorted(findings, key=Finding.sort_key)
+        self._remaining: Counter[_Key] = Counter(f.key() for f in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def absorb(self, finding: Finding) -> bool:
+        """Consume one matching baseline entry; True when absorbed."""
+        key = finding.key()
+        if self._remaining.get(key, 0) > 0:
+            self._remaining[key] -= 1
+            return True
+        return False
+
+    def stale_keys(self) -> List[_Key]:
+        """Baseline keys that matched fewer findings than they grandfather —
+        debt that has been paid and should be dropped from the file."""
+        return sorted(
+            key for key, count in self._remaining.items() for _ in range(count))
+
+    # --------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": 1,
+            "findings": [f.to_dict() for f in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Baseline":
+        return cls(Finding.from_dict(entry)
+                   for entry in data.get("findings", []))
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        return cls.from_dict(json.loads(path.read_text()))
+
+    @classmethod
+    def write(cls, path: Path, findings: Iterable[Finding]) -> "Baseline":
+        """Write ``findings`` as the new baseline at ``path`` and return it."""
+        baseline = cls(findings)
+        path.write_text(json.dumps(baseline.to_dict(), indent=2,
+                                   sort_keys=True) + "\n")
+        return baseline
+
+
+def default_baseline_path(start: Path) -> Path:
+    """``BASELINE_FILENAME`` next to the nearest ancestor ``pyproject.toml``
+    of ``start`` (falling back to ``start`` itself when none is found)."""
+    start = start.resolve()
+    candidates = [start] if start.is_dir() else []
+    candidates.extend(start.parents)
+    for directory in candidates:
+        if (directory / "pyproject.toml").exists():
+            return directory / BASELINE_FILENAME
+    return (start if start.is_dir() else start.parent) / BASELINE_FILENAME

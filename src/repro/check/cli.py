@@ -1,0 +1,142 @@
+"""``repro-check`` — the determinism & invariant static-analysis gate.
+
+Usage::
+
+    repro-check src/repro                 # human output, exit 1 on findings
+    repro-check src/repro --json          # machine-readable findings
+    repro-check src/repro --write-baseline  # grandfather current findings
+    repro-check --list-rules              # what is enforced, one line each
+
+Findings can be waived per line with ``# repro: allow[rule-id]`` pragmas or
+grandfathered in the committed baseline file
+(``.repro-check-baseline.json`` next to ``pyproject.toml``; override with
+``--baseline``, disable with ``--no-baseline``).  Exit codes: 0 — clean
+(after pragmas + baseline), 1 — findings (or stale baseline entries under
+``--strict-baseline``), 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.check.baseline import Baseline, default_baseline_path
+from repro.check.engine import CheckEngine, CheckResult
+from repro.check.rules import available_rules, default_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-check", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to scan "
+                             "(default: src/repro if present, else .)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full result as canonical JSON")
+    parser.add_argument("--rules",
+                        help="comma-separated rule ids to run "
+                             "(default: all registered rules)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="baseline file of grandfathered findings "
+                             "(default: .repro-check-baseline.json next to "
+                             "pyproject.toml)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline file "
+                             "and exit 0")
+    parser.add_argument("--strict-baseline", action="store_true",
+                        help="also fail (exit 1) on stale baseline entries")
+    return parser
+
+
+def _resolve_paths(raw: Sequence[str]) -> List[Path]:
+    if raw:
+        return [Path(p) for p in raw]
+    default = Path("src/repro")
+    return [default if default.is_dir() else Path(".")]
+
+
+def _select_rules(spec: Optional[str]) -> List:
+    rules = default_rules()
+    if not spec:
+        return rules
+    wanted = {part.strip() for part in spec.split(",") if part.strip()}
+    known = {rule.id for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        raise SystemExit(
+            f"repro-check: unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})")
+    return [rule for rule in rules if rule.id in wanted]
+
+
+def _render_human(result: CheckResult, stale_fails: bool) -> str:
+    lines = [finding.render() for finding in result.findings]
+    for error in result.parse_errors:
+        lines.append(f"parse error: {error}")
+    for rule, path, message in result.stale_baseline:
+        lines.append(f"stale baseline entry: [{rule}] {path}: {message}"
+                     + ("" if stale_fails else " (informational)"))
+    counts = result.counts_by_rule()
+    tally = ", ".join(f"{rule}={count}" for rule, count in counts.items())
+    lines.append(
+        f"checked {result.files_checked} file(s): "
+        f"{len(result.findings)} finding(s)"
+        + (f" ({tally})" if tally else "")
+        + (f", {result.suppressed} suppressed by pragma"
+           if result.suppressed else "")
+        + (f", {result.baselined} baselined" if result.baselined else ""))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in available_rules():
+            print(f"{cls.id}: {cls.title}")
+        return 0
+
+    paths = _resolve_paths(args.paths)
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"repro-check: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else default_baseline_path(paths[0]))
+    baseline = Baseline()
+    if not args.no_baseline and not args.write_baseline:
+        baseline = Baseline.load(baseline_path)
+
+    engine = CheckEngine(rules=_select_rules(args.rules), baseline=baseline)
+    result = engine.run(paths)
+
+    if args.write_baseline:
+        written = Baseline.write(baseline_path, result.findings)
+        print(f"wrote {len(written)} finding(s) to {baseline_path}")
+        return 0
+
+    if args.json:
+        print(json.dumps(result.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(_render_human(result, stale_fails=args.strict_baseline))
+
+    if result.findings or result.parse_errors:
+        return 1
+    if args.strict_baseline and result.stale_baseline:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""``# repro: allow[rule-id]`` suppression pragmas.
+
+A pragma suppresses findings of the named rule(s) on its own line.  A line
+that consists *only* of the pragma comment additionally covers the next
+line, so multi-line statements can carry their waiver on the line above::
+
+    start = perf_counter()  # repro: allow[no-ambient-nondeterminism]
+
+    # repro: allow[no-unsorted-iteration-into-output]
+    for key, value in payload.items():
+        ...
+
+Several rule ids may share one pragma (``allow[rule-a, rule-b]``) and the
+wildcard ``allow[*]`` suppresses every rule on the line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+#: Wildcard rule id accepted inside ``allow[...]``.
+ALLOW_ALL = "*"
+
+
+def parse_pragmas(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule ids allowed on that line.
+
+    Comment-only pragma lines also register their rules for the following
+    line (see the module docstring).
+    """
+    allowed: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if not match:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip())
+        if not rules:
+            continue
+        allowed[lineno] = allowed.get(lineno, frozenset()) | rules
+        if _COMMENT_ONLY_RE.match(text):
+            allowed[lineno + 1] = allowed.get(lineno + 1, frozenset()) | rules
+    return allowed
+
+
+def is_suppressed(pragmas: Dict[int, FrozenSet[str]], rule: str, line: int) -> bool:
+    """True when ``rule`` is waived on ``line`` by a pragma."""
+    rules = pragmas.get(line)
+    if not rules:
+        return False
+    return rule in rules or ALLOW_ALL in rules

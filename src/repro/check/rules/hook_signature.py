@@ -1,0 +1,134 @@
+"""hook-signature: callbacks registered on the typed HookRegistry must
+match the declared hook arity.
+
+The :class:`~repro.core.hooks.HookRegistry` calls back synchronously inside
+the emitting drive, so an arity mismatch surfaces as a mid-run ``TypeError``
+deep in a facade drive — long after the registration site that caused it.
+This rule checks every ``*.on_<event>(callback)`` registration whose
+callback is statically resolvable (a lambda, a module-level function, or a
+``self._method`` in the registering class) against the hook's emitter
+signature.
+
+The expected arities are read from the ``HookRegistry`` class itself when it
+is part of the scanned tree (``emit_<event>`` parameter counts), so adding a
+hook event — say for the upcoming live runtime — automatically extends the
+rule; a built-in table covers scans that do not include ``core/hooks.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.check.context import FileContext, ProjectContext
+from repro.check.findings import Finding
+from repro.check.rules.base import Rule, register
+
+#: event -> callback positional-argument count, used when the scanned tree
+#: does not define HookRegistry itself.
+FALLBACK_HOOK_ARITIES: Dict[str, int] = {
+    "subscribe": 2,
+    "relegitimacy": 2,
+    "delivery": 3,
+    "supervisor_crash": 2,
+    "phase": 2,
+}
+
+#: Name of the registry class whose ``emit_*`` methods declare the truth.
+REGISTRY_CLASS = "HookRegistry"
+
+
+def _registry_arities(project: ProjectContext) -> Dict[str, int]:
+    entry = project.find_class(REGISTRY_CLASS)
+    if entry is None:
+        return dict(FALLBACK_HOOK_ARITIES)
+    _ctx, node = entry
+    arities: Dict[str, int] = {}
+    for stmt in node.body:
+        if (isinstance(stmt, ast.FunctionDef)
+                and stmt.name.startswith("emit_")):
+            event = stmt.name[len("emit_"):]
+            arities[event] = len(stmt.args.posonlyargs + stmt.args.args) - 1
+    return arities or dict(FALLBACK_HOOK_ARITIES)
+
+
+def _callback_arity(callback: ast.expr, ctx: FileContext,
+                    enclosing: Optional[ast.ClassDef]
+                    ) -> Optional[Tuple[int, Optional[int]]]:
+    """(min_args, max_args) a callback accepts positionally, or ``None``
+    when the callback is not statically resolvable.  ``max_args=None``
+    means unbounded (``*args``)."""
+    if isinstance(callback, ast.Lambda):
+        return _arg_range(callback.args, drop_self=False)
+    if isinstance(callback, ast.Name):
+        for func, parent in ctx.functions():
+            if parent is None and func.name == callback.id:
+                return _arg_range(func.args, drop_self=False)
+        return None
+    if (isinstance(callback, ast.Attribute)
+            and isinstance(callback.value, ast.Name)
+            and callback.value.id == "self" and enclosing is not None):
+        for stmt in enclosing.body:
+            if (isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt.name == callback.attr):
+                if any(isinstance(d, ast.Name) and d.id == "staticmethod"
+                       for d in stmt.decorator_list):
+                    return _arg_range(stmt.args, drop_self=False)
+                return _arg_range(stmt.args, drop_self=True)
+    return None
+
+
+def _arg_range(args: ast.arguments, drop_self: bool
+               ) -> Tuple[int, Optional[int]]:
+    positional = args.posonlyargs + args.args
+    if drop_self and positional:
+        positional = positional[1:]
+    maximum: Optional[int] = len(positional)
+    minimum = len(positional) - len(args.defaults)
+    if args.vararg is not None:
+        maximum = None
+    return max(minimum, 0), maximum
+
+
+@register
+class HookSignatureRule(Rule):
+    id = "hook-signature"
+    title = ("hook callbacks must accept the arguments the registry's "
+             "emitter passes")
+
+    def finalize(self, project: ProjectContext) -> Iterator[Finding]:
+        arities = _registry_arities(project)
+        registration_names = {f"on_{event}": event for event in arities}
+        for ctx in project.files:
+            # (call, enclosing class) pairs for registration-shaped calls.
+            for node, enclosing in _calls_with_class(ctx):
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                event = registration_names.get(node.func.attr)
+                if event is None or node.keywords or len(node.args) != 1:
+                    continue
+                resolved = _callback_arity(node.args[0], ctx, enclosing)
+                if resolved is None:
+                    continue
+                minimum, maximum = resolved
+                expected = arities[event]
+                if minimum <= expected and (maximum is None
+                                            or expected <= maximum):
+                    continue
+                accepts = (f"{minimum}" if maximum == minimum
+                           else f"{minimum}..{'*' if maximum is None else maximum}")
+                yield Finding(
+                    rule=self.id, path=ctx.relpath, line=node.lineno,
+                    col=node.col_offset,
+                    message=(f"on_{event} callback accepts {accepts} "
+                             f"positional argument(s) but the hook emits "
+                             f"{expected} — the drive would raise TypeError "
+                             f"mid-run"))
+
+
+def _calls_with_class(ctx: FileContext
+                      ) -> Iterator[Tuple[ast.Call, Optional[ast.ClassDef]]]:
+    from repro.check.context import walk_with_class
+    for node, parent in walk_with_class(ctx.tree, None):
+        if isinstance(node, ast.Call):
+            yield node, parent

@@ -1,0 +1,252 @@
+"""slots-complete: hot-path classes must be slotted, and stay slotted.
+
+Every class defined under :mod:`repro.sim` must either declare
+``__slots__`` in its body or be a ``@dataclass(slots=True)`` — simulations
+hold thousands of instances and the PR 4/6 hot-path work priced the
+per-instance ``__dict__`` out of the engine.  The second half of the rule
+catches the silent regression slots exist to prevent: methods assigning
+``self.<attr>`` for an attribute no declared slot covers.  (At runtime that
+raises only when *every* class in the MRO is slotted; one forgotten base
+class re-grows ``__dict__`` and hides the bug, which is why a static check
+pays for itself.)
+
+Attribute completeness is enforced only when the full local base chain is
+resolvable and slotted; classes inheriting from un-scanned externals, and
+classes whose ``__slots__`` is a dynamic expression, are given the benefit
+of the doubt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.check.context import FileContext, ProjectContext, resolve_dotted
+from repro.check.findings import Finding
+from repro.check.rules.base import Rule, register
+
+#: Module prefixes whose classes the rule covers.
+SLOTTED_PACKAGES = ("repro.sim",)
+
+#: Dunder names always assignable regardless of slots.
+_ALWAYS_OK = frozenset({"__dict__", "__weakref__"})
+
+
+class _Opaque:
+    """Sentinel: the class is slotted but its slot names are not statically
+    resolvable (dynamic ``__slots__`` expression)."""
+
+
+OPAQUE = _Opaque()
+
+#: ``None`` = unslotted, :data:`OPAQUE` = slotted-but-unknown, set = slots.
+SlotInfo = Union[None, _Opaque, Set[str]]
+
+
+def _dataclass_slots(node: ast.ClassDef, import_map: dict) -> Optional[bool]:
+    """True for ``@dataclass(slots=True)``, False for a plain ``@dataclass``
+    decoration, ``None`` when the class is not a dataclass at all."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        dotted = resolve_dotted(target, import_map)
+        if dotted not in ("dataclasses.dataclass", "dataclass"):
+            continue
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if keyword.arg == "slots":
+                    value = keyword.value
+                    return bool(isinstance(value, ast.Constant) and
+                                value.value is True)
+        return False
+    return None
+
+
+def _declared_slots(node: ast.ClassDef) -> SlotInfo:
+    """The class-body ``__slots__`` declaration, if any."""
+    for stmt in node.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    names: Set[str] = set()
+                    for element in value.elts:
+                        if (isinstance(element, ast.Constant)
+                                and isinstance(element.value, str)):
+                            names.add(element.value)
+                        else:
+                            return OPAQUE
+                    return names
+                if (isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)):
+                    return {value.value}
+                return OPAQUE
+    return None
+
+
+def _dataclass_fields(node: ast.ClassDef) -> Set[str]:
+    """Annotated class-body names (the dataclass field set, minus ClassVars)."""
+    fields = set()
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if "ClassVar" in ast.unparse(stmt.annotation):
+                continue
+            fields.add(stmt.target.id)
+    return fields
+
+
+def _class_own_slots(ctx: FileContext, node: ast.ClassDef) -> SlotInfo:
+    """The attribute storage this class itself provides."""
+    is_dc_slots = _dataclass_slots(node, ctx.import_map)
+    if is_dc_slots:
+        return _dataclass_fields(node)
+    if is_dc_slots is False:  # plain dataclass: instances carry __dict__
+        return None
+    return _declared_slots(node)
+
+
+def _decorator_names(stmt: ast.FunctionDef) -> Set[str]:
+    """Flat names of a method's decorators (``property``, ``classmethod``,
+    ``foo.setter`` → ``setter``...)."""
+    names: Set[str] = set()
+    for decorator in stmt.decorator_list:
+        target = (decorator.func if isinstance(decorator, ast.Call)
+                  else decorator)
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+def _descriptor_names(node: ast.ClassDef) -> Set[str]:
+    """Names of property-like descriptors the class body defines — writes to
+    ``self.<name>`` dispatch to the setter, not to a slot."""
+    names: Set[str] = set()
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            decorators = _decorator_names(stmt)
+            if decorators & {"property", "setter", "deleter",
+                             "cached_property"}:
+                names.add(stmt.name)
+    return names
+
+
+def _self_attr_writes(node: ast.ClassDef) -> Iterator[Tuple[str, ast.AST]]:
+    """Every ``self.<attr> = ...`` (and ``object.__setattr__(self, "attr",
+    ...)``) in the class body's instance methods."""
+    for stmt in node.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        # classmethods/staticmethods have no self; the first argument of a
+        # classmethod is the class, and cls.<attr> writes are class-level.
+        if _decorator_names(stmt) & {"classmethod", "staticmethod"}:
+            continue
+        args = stmt.args.posonlyargs + stmt.args.args
+        if not args:
+            continue
+        self_name = args[0].arg
+        for sub in ast.walk(stmt):
+            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (sub.targets if isinstance(sub, ast.Assign)
+                           else [sub.target])
+                for target in targets:
+                    for leaf in _attribute_leaves(target):
+                        if (isinstance(leaf.value, ast.Name)
+                                and leaf.value.id == self_name):
+                            yield leaf.attr, leaf
+            elif isinstance(sub, ast.Call):
+                dotted = resolve_dotted(sub.func, {})
+                if (dotted == "object.__setattr__" and len(sub.args) >= 2
+                        and isinstance(sub.args[0], ast.Name)
+                        and sub.args[0].id == self_name
+                        and isinstance(sub.args[1], ast.Constant)
+                        and isinstance(sub.args[1].value, str)):
+                    yield sub.args[1].value, sub
+
+
+def _attribute_leaves(target: ast.expr) -> Iterator[ast.Attribute]:
+    """Attribute nodes assigned to inside an assignment target."""
+    if isinstance(target, ast.Attribute):
+        yield target
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _attribute_leaves(element)
+    elif isinstance(target, ast.Starred):
+        yield from _attribute_leaves(target.value)
+
+
+@register
+class SlotsCompleteRule(Rule):
+    id = "slots-complete"
+    title = ("sim/ classes must declare __slots__ (or dataclass slots=True) "
+             "and never assign undeclared attributes")
+
+    def _covered(self, ctx: FileContext) -> bool:
+        return any(ctx.module == prefix or ctx.module.startswith(prefix + ".")
+                   for prefix in SLOTTED_PACKAGES)
+
+    def finalize(self, project: ProjectContext) -> Iterator[Finding]:
+        # Cross-file so base-class slot sets resolve across modules.
+        cache: Dict[str, Optional[Set[str]]] = {}
+
+        def allowed_attrs(name: str, seen: Set[str]) -> Optional[Set[str]]:
+            """Transitive slot set for ``name``; None = not fully resolvable
+            (unknown base, unslotted base, or opaque slots somewhere)."""
+            if name in seen:
+                return None
+            seen.add(name)
+            if name == "object":
+                return set()
+            if name in cache:
+                return cache[name]
+            entry = project.find_class(name)
+            resolved: Optional[Set[str]] = None
+            if entry is not None:
+                ctx, node = entry
+                own = _class_own_slots(ctx, node)
+                if isinstance(own, set):
+                    combined = set(own) | _descriptor_names(node)
+                    for base in node.bases:
+                        base_name = (base.id if isinstance(base, ast.Name)
+                                     else None)
+                        inherited = (allowed_attrs(base_name, seen)
+                                     if base_name else None)
+                        if inherited is None:
+                            combined = None
+                            break
+                        combined |= inherited
+                    resolved = combined
+            cache[name] = resolved
+            return resolved
+
+        for ctx in project.files:
+            if not self._covered(ctx):
+                continue
+            for node in ctx.classes():
+                own = _class_own_slots(ctx, node)
+                if own is None:
+                    yield Finding(
+                        rule=self.id, path=ctx.relpath, line=node.lineno,
+                        col=node.col_offset,
+                        message=(f"class {node.name} in sim/ lacks __slots__ "
+                                 f"— declare __slots__ (or dataclass "
+                                 f"slots=True) to keep instances dict-free"))
+                    continue
+                attrs = allowed_attrs(node.name, set())
+                if attrs is None:
+                    continue  # opaque slots or unresolvable base: trust it
+                for attr, site in _self_attr_writes(node):
+                    if attr in attrs or attr in _ALWAYS_OK:
+                        continue
+                    yield Finding(
+                        rule=self.id, path=ctx.relpath,
+                        line=getattr(site, "lineno", node.lineno),
+                        col=getattr(site, "col_offset", 0),
+                        message=(f"{node.name}.{attr} assigned but not "
+                                 f"declared in __slots__ — add the slot or "
+                                 f"the write lands in a resurrected __dict__"))

@@ -1,0 +1,117 @@
+"""no-unsorted-iteration-into-output: sorted iteration before serialization.
+
+Inside a *serialization function* (``to_dict``, ``summary``, ``snapshot``,
+``to_json`` and friends — see :data:`SERIALIZE_NAMES`), iterating a
+``set``/``frozenset`` or a dict view (``.keys()``/``.values()``/
+``.items()``) without ``sorted(...)`` threads container order straight into
+report payloads.  Dict order is insertion order — deterministic for one
+seeded run but *not* across merge order, task order or code paths — and set
+order depends on ``PYTHONHASHSEED``; both have produced real byte-parity
+bugs in this tree (PR 2 fixed a hash-seed-dependent shortcut iteration).
+
+Order-invariant aggregations (``sum``/``min``/``max``/``any``/``all``/
+``sorted`` itself, or rebuilding a ``set``/``frozenset``) are recognised and
+exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.check.context import FileContext
+from repro.check.findings import Finding
+from repro.check.rules.base import Rule, register
+
+#: Function names treated as serialization/output builders.
+SERIALIZE_NAMES = frozenset({
+    "to_dict", "to_json", "to_list", "to_report_dict", "to_summary_dict",
+    "snapshot", "summary", "invariants",
+})
+
+#: Name prefixes that also mark a serialization function.
+SERIALIZE_PREFIXES = ("to_", "merge_", "serialize")
+
+#: Callables whose result does not expose argument order (aggregations) or
+#: re-establishes an order of its own.
+ORDER_NEUTRAL_CALLS = frozenset({
+    "sorted", "sum", "min", "max", "any", "all", "len", "set", "frozenset",
+    "Counter", "collections.Counter",
+})
+
+_DICT_VIEWS = frozenset({"keys", "values", "items"})
+
+
+def is_serialization_function(name: str) -> bool:
+    return name in SERIALIZE_NAMES or name.startswith(SERIALIZE_PREFIXES)
+
+
+def _unsorted_sources(expr: ast.expr, import_map: dict) -> List[ast.expr]:
+    """Order-sensitive subexpressions of an iterable expression.
+
+    Returns the ``x.items()``-style calls and set displays inside ``expr``
+    that are *not* wrapped by an order-neutral call such as ``sorted``.
+    """
+    flagged: List[ast.expr] = []
+
+    def visit(node: ast.expr) -> None:
+        if isinstance(node, ast.Call):
+            func = node.func
+            dotted: Optional[str] = None
+            if isinstance(func, ast.Name):
+                dotted = import_map.get(func.id, func.id)
+            if dotted in ORDER_NEUTRAL_CALLS:
+                return  # everything underneath is order-neutral
+            if (isinstance(func, ast.Attribute) and func.attr in _DICT_VIEWS
+                    and not node.args and not node.keywords):
+                flagged.append(node)
+                return
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            flagged.append(node)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                visit(child)
+
+    visit(expr)
+    return flagged
+
+
+def _iteration_sites(func: ast.AST) -> Iterator[ast.expr]:
+    """Every iterable expression the function body loops over."""
+    for node in ast.walk(func):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                yield generator.iter
+
+
+@register
+class SortedOutputRule(Rule):
+    id = "no-unsorted-iteration-into-output"
+    title = ("serialization functions must sort set/dict iteration before "
+             "it reaches a payload")
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        seen: Set[int] = set()
+        for func, _parent in ctx.functions():
+            if not is_serialization_function(func.name):
+                continue
+            for iterable in _iteration_sites(func):
+                for source in _unsorted_sources(iterable, ctx.import_map):
+                    marker = id(source)
+                    if marker in seen:
+                        continue
+                    seen.add(marker)
+                    what = ("set display" if isinstance(source, (ast.Set,
+                                                                 ast.SetComp))
+                            else f".{source.func.attr}()")
+                    yield Finding(
+                        rule=self.id, path=ctx.relpath, line=source.lineno,
+                        col=source.col_offset,
+                        message=(f"unsorted iteration over {what} inside "
+                                 f"serialization function {func.name}() — "
+                                 f"wrap in sorted(...) so payload order never "
+                                 f"depends on insertion or hash order"))

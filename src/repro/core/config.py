@@ -8,8 +8,7 @@ experiments and ablations can vary one dimension at a time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 #: Default budget (in timeout periods) for "run until legitimate/converged"
 #: drivers.  Shared by :class:`~repro.api.spec.SystemSpec`, the facade

@@ -239,7 +239,7 @@ class TopicView:
         )
         # Prune entries whose label we no longer expect; delegate their refs
         # into the ring so the references are not lost.
-        for stale_label in [l for l in self.shortcuts if l not in expected]:
+        for stale_label in [lbl for lbl in self.shortcuts if lbl not in expected]:
             ref = self.shortcuts.pop(stale_label)
             if ref is not None and ref != self.node_id:
                 self._integrate(stale_label, ref)
@@ -388,8 +388,8 @@ class TopicView:
             if nb is not None and nb.ref == node and nb.label != label:
                 setattr(self, side, None)
                 removed = True
-        for stored_label in [l for l, ref in self.shortcuts.items()
-                             if ref == node and l != label]:
+        for stored_label in [lbl for lbl, ref in self.shortcuts.items()
+                             if ref == node and lbl != label]:
             self.shortcuts[stored_label] = None
             removed = True
         if removed:
@@ -400,7 +400,7 @@ class TopicView:
             nb: Optional[Neighbor] = getattr(self, side)
             if nb is not None and nb.ref == node:
                 setattr(self, side, None)
-        for stored_label in [l for l, ref in self.shortcuts.items() if ref == node]:
+        for stored_label in [lbl for lbl, ref in self.shortcuts.items() if ref == node]:
             self.shortcuts[stored_label] = None
 
     def handle_introduce_shortcut(self, node: NodeRef, label: Label) -> None:

@@ -105,7 +105,7 @@ class TopicDatabase:
         """
         # (i) drop tuples without a subscriber, and crashed subscribers.
         crashed_set = set(crashed or [])
-        for label in [l for l, ref in self.entries.items()
+        for label in [lbl for lbl, ref in self.entries.items()
                       if ref is None or ref in crashed_set]:
             del self.entries[label]
         # (ii) drop duplicate subscribers (keep lowest label per subscriber).

@@ -100,7 +100,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"sweep {sweep.name!r}: {total} tasks, master seed "
           f"{sweep.master_seed}, jobs={args.jobs}", file=sys.stderr)
 
-    def progress(task, report, done, _total):
+    def progress(task: Any, report: Any, done: int, _total: int) -> None:
         verdict = "PASS" if report["passed"] else "FAIL"
         print(f"  [{done}/{total}] {task.task_id:40s} {verdict}",
               file=sys.stderr)

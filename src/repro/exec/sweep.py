@@ -292,6 +292,6 @@ class SweepSpec:
     def from_json(cls, text: str) -> "SweepSpec":
         return cls.from_dict(json.loads(text))
 
-    def with_overrides(self, **kwargs) -> "SweepSpec":
+    def with_overrides(self, **kwargs: object) -> "SweepSpec":
         """A copy with top-level fields replaced."""
         return replace(self, **kwargs)

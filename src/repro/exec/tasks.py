@@ -96,9 +96,9 @@ def run_bench_case(payload: Dict[str, Any]) -> Dict[str, Any]:
     walls = []
     events = None
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: allow[no-ambient-nondeterminism]
         events, result_payload = case.run()
-        walls.append(time.perf_counter() - start)
+        walls.append(time.perf_counter() - start)  # repro: allow[no-ambient-nondeterminism]
         del result_payload
     try:
         import resource

@@ -16,7 +16,7 @@ import sys
 from repro.exec.backend import resolve_task_fn
 
 
-def main(argv=None) -> int:
+def main(argv: "list[str] | None" = None) -> int:
     task = json.load(sys.stdin)
     fn = resolve_task_fn(task["fn"])
     result = fn(dict(task.get("payload") or {}))

@@ -52,7 +52,7 @@ class CheckAndPublishRequest:
     prefix: str = ""
 
     def to_wire(self) -> dict:
-        return {"tuples": [(l, h) for l, h in self.tuples], "prefix": self.prefix}
+        return {"tuples": [(lbl, h) for lbl, h in self.tuples], "prefix": self.prefix}
 
 
 @dataclass

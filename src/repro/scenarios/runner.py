@@ -133,7 +133,7 @@ class ScenarioReport:
         """Flat ``phase/invariant -> verdict`` map (plus initial stabilization)."""
         out = {"initial stabilization": self.stabilized}
         for phase in self.phases:
-            for name, holds in phase.invariants.items():
+            for name, holds in sorted(phase.invariants.items()):
                 out[f"{phase.name}: {name}"] = holds
         return out
 

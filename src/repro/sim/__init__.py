@@ -19,6 +19,18 @@ the supervisor-side oracle failure detector used in Section 3.3 of the paper.
 """
 
 from repro.sim.engine import Simulator, SimulatorConfig
+from repro.sim.network import Message, Network, ChannelStats
+from repro.sim.node import ProtocolNode, NodeRef
+from repro.sim.failure import FailureDetector, CrashSchedule
+from repro.sim.scheduler import (
+    EventScheduler,
+    HeapScheduler,
+    TimeoutWheelScheduler,
+    auto_bucket_width,
+    make_scheduler,
+)
+from repro.sim.tracing import Tracer, TraceEvent
+from repro.sim.rng import BatchedUniform, derive_rng, derive_seed, spawn_seeds
 
 
 def core_build_info() -> dict:
@@ -45,18 +57,7 @@ def core_build_info() -> dict:
         "scheduler": scheduler_mode,
         "compiled": engine_mode == "compiled" and scheduler_mode == "compiled",
     }
-from repro.sim.network import Message, Network, ChannelStats
-from repro.sim.node import ProtocolNode, NodeRef
-from repro.sim.failure import FailureDetector, CrashSchedule
-from repro.sim.scheduler import (
-    EventScheduler,
-    HeapScheduler,
-    TimeoutWheelScheduler,
-    auto_bucket_width,
-    make_scheduler,
-)
-from repro.sim.tracing import Tracer, TraceEvent
-from repro.sim.rng import BatchedUniform, derive_rng, derive_seed, spawn_seeds
+
 
 __all__ = [
     "core_build_info",

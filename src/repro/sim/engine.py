@@ -58,7 +58,7 @@ from repro.sim.scheduler import (
 from repro.sim.tracing import Tracer
 
 
-@dataclass
+@dataclass(slots=True)
 class SimulatorConfig:
     """Tunable parameters of the simulation substrate.
 
@@ -109,6 +109,12 @@ class SimulatorConfig:
     telemetry: bool = False
 
     def __post_init__(self) -> None:
+        if self.min_delay < 0:
+            raise ValueError("min_delay must be non-negative")
+        if self.max_delay < self.min_delay:
+            raise ValueError("max_delay must be >= min_delay")
+        if self.detection_lag < 0:
+            raise ValueError("detection_lag must be non-negative")
         if self.timeout_period <= 0:
             raise ValueError("timeout_period must be positive")
         if not 0 <= self.timeout_jitter < 1:
@@ -566,7 +572,7 @@ class Simulator:
             gc.disable()
         profile = self._profile
         if profile is not None:
-            wall_start = perf_counter()
+            wall_start = perf_counter()  # repro: allow[no-ambient-nondeterminism]
             steps_before = self._steps
         try:
             scheduler_type = type(self._scheduler)
@@ -585,6 +591,7 @@ class Simulator:
                 gc.enable()
             if profile is not None:
                 profile["drains"] += 1
+                # repro: allow[no-ambient-nondeterminism]
                 profile["wall_seconds"] += perf_counter() - wall_start
                 profile["steps"] += self._steps - steps_before
         if deadline > self.now:

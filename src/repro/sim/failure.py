@@ -22,7 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class CrashSchedule:
     """A list of (time, node_id) crash instructions applied by the simulator."""
 

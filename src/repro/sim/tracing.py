@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """A single timestamped trace record."""
 
@@ -27,6 +27,9 @@ class TraceEvent:
 
 class Tracer:
     """Collects trace events, counters and time series during a run."""
+
+    __slots__ = ("keep_events", "max_events", "events", "counters", "series",
+                 "marks", "events_dropped")
 
     def __init__(self, keep_events: bool = True, max_events: int = 1_000_000) -> None:
         self.keep_events = keep_events
@@ -88,7 +91,7 @@ class Tracer:
         return {
             "counters": dict(self.counters),
             "marks": dict(self.marks),
-            "series_lengths": {k: len(v) for k, v in self.series.items()},
+            "series_lengths": {k: len(v) for k, v in sorted(self.series.items())},
             "num_events": len(self.events),
             "events_dropped": self.events_dropped,
             "truncated": self.truncated,

@@ -98,7 +98,7 @@ def render_telemetry(payload: Dict[str, Any], spans: bool = False) -> str:
     return "\n".join(parts)
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-metrics", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)

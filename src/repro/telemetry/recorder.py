@@ -36,7 +36,7 @@ class TelemetryRecorder:
 
     __slots__ = ("_system", "stabilization", "spans", "_pending")
 
-    def __init__(self, system) -> None:
+    def __init__(self, system: Any) -> None:
         self._system = system
         self.stabilization = LatencyHistogram(ROUNDS_SPEC, unit="rounds")
         self.spans = SpanTimeline()
@@ -54,7 +54,7 @@ class TelemetryRecorder:
         # the same pair before stabilization restart its clock.
         self._pending[(node_id, topic)] = self._system.sim.now
 
-    def _on_relegitimacy(self, topics, rounds: float) -> None:
+    def _on_relegitimacy(self, topics: Iterable[str], rounds: float) -> None:
         now = self._system.sim.now
         period = self._system.sim.config.timeout_period
         start = now - rounds * period
@@ -66,11 +66,11 @@ class TelemetryRecorder:
                 elapsed = now - self._pending.pop(key)
                 self.stabilization.record(elapsed / period)
 
-    def _on_supervisor_crash(self, shard_id: int, moved_topics) -> None:
+    def _on_supervisor_crash(self, shard_id: int, moved_topics: Any) -> None:
         self.spans.mark("supervisor_crash", f"shard{shard_id}",
                         self._system.sim.now)
 
-    def _on_phase(self, name: str, phase_report) -> None:
+    def _on_phase(self, name: str, phase_report: Any) -> None:
         now = self._system.sim.now
         period = self._system.sim.config.timeout_period
         elapsed_rounds = getattr(phase_report, "elapsed_rounds", 0.0) or 0.0
@@ -111,15 +111,16 @@ def merge_telemetry_dicts(
             merged[key] = LatencyHistogram.from_dict(combined).to_report_dict()
     span_summary: Dict[str, Dict[str, Any]] = {}
     for payload in present:
-        for kind, entry in (payload.get("span_summary") or {}).items():
+        for kind, entry in sorted((payload.get("span_summary") or {}).items()):
             slot = span_summary.setdefault(
                 kind, {"count": 0, "total": 0.0, "max": 0.0})
             slot["count"] += entry["count"]
             slot["total"] += entry["total"]
             if entry["max"] > slot["max"]:
                 slot["max"] = entry["max"]
-    for slot in span_summary.values():
-        slot["total"] = round(slot["total"], 6)
+    for kind in sorted(span_summary):
+        span_summary[kind]["total"] = round(span_summary[kind]["total"], 6)
     if span_summary:
-        merged["span_summary"] = span_summary
+        merged["span_summary"] = {kind: span_summary[kind]
+                                  for kind in sorted(span_summary)}
     return merged

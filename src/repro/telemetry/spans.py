@@ -45,10 +45,11 @@ class SpanTimeline:
             entry["total"] += duration
             if duration > entry["max"]:
                 entry["max"] = duration
-        for entry in out.values():
+        for kind in sorted(out):
+            entry = out[kind]
             entry["total"] = round(entry["total"], 6)
             entry["max"] = round(entry["max"], 6)
-        return out
+        return {kind: out[kind] for kind in sorted(out)}
 
     def to_list(self) -> List[List[object]]:
         return [[kind, name, start, end]

@@ -1,0 +1,11 @@
+"""Fixture: hook callbacks with the wrong arity repro-check must flag."""
+
+
+def on_delivery_sink(node_id, topic):  # delivery emits 3 args
+    pass
+
+
+def wire(hooks):
+    hooks.on_subscribe(lambda node_id, topic, extra: None)  # expects 2
+    hooks.on_delivery(on_delivery_sink)  # expects 3, takes 2
+    hooks.on_phase(lambda name, report: None)  # correct: 2

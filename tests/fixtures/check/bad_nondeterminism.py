@@ -1,0 +1,12 @@
+"""Fixture: ambient wall-clock / entropy calls repro-check must flag."""
+
+import os
+import time
+import uuid
+
+
+def stamp_report(payload: dict) -> dict:
+    payload["generated_at"] = time.time()  # line 9: ambient wall clock
+    payload["run_id"] = str(uuid.uuid4())  # line 10: ambient uuid
+    payload["nonce"] = os.urandom(8).hex()  # line 11: ambient entropy
+    return payload

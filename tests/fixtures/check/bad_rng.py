@@ -1,0 +1,11 @@
+"""Fixture: module-level random usage repro-check must flag."""
+
+import random
+
+
+def coin_flip() -> bool:
+    return random.random() < 0.5  # module-level RNG, not a seeded stream
+
+
+def make_generator():
+    return random.Random()  # zero-arg Random(): seeded from OS entropy

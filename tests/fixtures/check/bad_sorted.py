@@ -1,0 +1,19 @@
+"""Fixture: unsorted iteration inside serializers repro-check must flag."""
+
+
+class Ledger:
+    def __init__(self):
+        self.balances = {}
+
+    def to_dict(self):
+        return {name: amount for name, amount in self.balances.items()}
+
+    def snapshot(self):
+        out = []
+        for name in self.balances.keys():
+            out.append(name)
+        return out
+
+    def totals_ok(self):
+        # sum() is order-neutral: must NOT be flagged.
+        return sum(v for v in self.balances.values()) >= 0

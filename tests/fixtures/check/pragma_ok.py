@@ -1,0 +1,16 @@
+"""Fixture: findings waived by ``# repro: allow[...]`` pragmas."""
+
+import time
+
+
+def timed_probe() -> float:
+    return time.time()  # repro: allow[no-ambient-nondeterminism]
+
+
+def timed_probe_comment_line() -> float:
+    # repro: allow[no-ambient-nondeterminism]
+    return time.time()
+
+
+def anything_goes() -> float:
+    return time.time()  # repro: allow[*]

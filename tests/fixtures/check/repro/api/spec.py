@@ -1,0 +1,28 @@
+"""Fixture: a SystemSpec whose field threading is incomplete (fake
+repro.api package so the cross-file spec-field-coverage rule engages)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SystemSpec:
+    seed: int = 0
+    shards: int = 1
+    verbose: bool = False
+
+    def __post_init__(self):
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        # 'shards' is never validated anywhere -> finding
+
+    def to_dict(self):
+        return {
+            "seed": self.seed,
+            "shards": self.shards,
+            "verbose": self.verbose,
+            "legacy_mode": False,  # stale key: not a dataclass field
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(**payload)

@@ -1,0 +1,43 @@
+"""Fixture: sim/ classes violating the slots discipline (fake repro.sim
+package — the directory layout gives these modules repro.sim.* names)."""
+
+from dataclasses import dataclass
+
+
+class Unslotted:
+    def __init__(self):
+        self.x = 1
+
+
+@dataclass
+class PlainDataclass:
+    value: int = 0
+
+
+class Incomplete:
+    __slots__ = ("declared",)
+
+    def __init__(self):
+        self.declared = 1
+        self.sneaky = 2  # not in __slots__
+
+
+class WellBehaved:
+    __slots__ = ("a", "b")
+
+    def __init__(self):
+        self.a = 1
+        self.b = 2
+
+    @property
+    def total(self):
+        return self.a + self.b
+
+    @total.setter
+    def total(self, value):
+        self.a = value
+        self.b = 0
+
+    @classmethod
+    def configure(cls):
+        cls.registry = {}  # class-level write: not an instance attribute

@@ -4,7 +4,6 @@ failure detector, and the slotted message/node state."""
 
 from __future__ import annotations
 
-import json
 import random
 
 import pytest

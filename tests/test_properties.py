@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) for the core data structures and invariants."""
 
-from fractions import Fraction
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

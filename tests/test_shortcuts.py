@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.labels import label_of, max_level, r_value
+from repro.core.labels import max_level
 from repro.core.shortcuts import (
     own_level_targets,
     shortcut_labels,
@@ -66,7 +66,6 @@ class TestClosedFormEquivalence:
         top = max_level(n)
         for node in range(n):
             own = topo.label(node)
-            spec = topo.expected_subscriber_state(node)
             # reconstruct ring neighbour labels exactly as the protocol sees them
             order = topo.ring_order()
             pos = order.index(node)

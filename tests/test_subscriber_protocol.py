@@ -1,6 +1,5 @@
 """Unit tests for the subscriber-side protocol logic (Algorithms 1, 2, 4, 5)."""
 
-import pytest
 
 from repro.core import messages as msg
 from repro.core.config import ProtocolParams

@@ -1,6 +1,5 @@
 """Unit tests for the supervisor protocol and database repair (Section 3.1)."""
 
-import pytest
 
 from repro.core.config import ProtocolParams
 from repro.core.labels import label_of

@@ -3,11 +3,10 @@ disseminating publications under joins, leaves, crashes and multiple topics."""
 
 import pytest
 
-from repro import ProtocolParams, SupervisedPubSub
-from repro.analysis.convergence import edge_set_signature, publications_converged
+from repro import ProtocolParams
+from repro.analysis.convergence import edge_set_signature
 from repro.core.labels import label_of
 from repro.api import SystemSpec, build_stable
-from repro.pubsub.publications import Publication
 from repro.workloads.publications import scatter_publications
 
 
@@ -27,9 +26,6 @@ class TestConvergenceFromJoins:
     def test_explicit_edges_match_ideal_topology(self, stable_system_8):
         system, _ = stable_system_8
         from repro.core.skip_ring import SkipRingTopology
-        db = system.supervisor.database()
-        index_of_ref = {ref: i for i, (lbl, ref) in
-                        enumerate(sorted(db.entries.items(), key=lambda kv: kv[0]))}
         # Compare edge counts: the explicit undirected edge set must equal the
         # locally-computable legitimate edge set of SR(8).
         ideal = SkipRingTopology(8).expected_edge_set()
