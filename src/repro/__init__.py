@@ -83,7 +83,7 @@ from repro.api import (
 )
 from repro.exec import CampaignReport, CampaignRunner, SweepSpec, run_campaign
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "ProtocolParams",

@@ -23,11 +23,15 @@ CLI: ``python -m repro.exec`` (installed as ``repro-sweep``).
 """
 
 from repro.exec.backend import (
+    FAILURE_KEY,
     ExecBackend,
     InlineBackend,
     ProcessPoolBackend,
+    TaskFailure,
     TaskSpec,
     backend_for_jobs,
+    failure_from_result,
+    is_failure_result,
 )
 from repro.exec.campaign import CampaignReport, CampaignRunner, run_campaign
 from repro.exec.demo import DEMO_SWEEPS, demo_names, get_demo_sweep
@@ -35,10 +39,14 @@ from repro.exec.sweep import SweepSpec, SweepTask
 
 __all__ = [
     "ExecBackend",
+    "FAILURE_KEY",
     "InlineBackend",
     "ProcessPoolBackend",
+    "TaskFailure",
     "TaskSpec",
     "backend_for_jobs",
+    "failure_from_result",
+    "is_failure_result",
     "SweepSpec",
     "SweepTask",
     "CampaignReport",

@@ -21,6 +21,20 @@ same key order and value types whether it crossed a process boundary or
 not.  ``backend.run`` returns results in *task submission order* regardless
 of completion order; the optional progress callback streams completions as
 they happen.
+
+Fault tolerance
+---------------
+Long campaigns (sweeps, fuzz runs) cannot afford one pathological task
+killing the whole batch.  Both backends therefore support a
+``fault_tolerant`` mode in which a crashed, hung or garbage-emitting task
+yields a structured :class:`TaskFailure` *result* (a dict under the
+:data:`FAILURE_KEY` key, recognizable via :func:`is_failure_result`)
+instead of raising through ``run``.  :class:`ProcessPoolBackend`
+additionally enforces a per-task wall-clock ``timeout`` (the hung worker
+is killed), and both backends retry a failing task up to ``retries``
+times with a deterministic exponential backoff schedule before recording
+the failure.  The default (``fault_tolerant=False``, no timeout, no
+retries) preserves the historical fail-fast contract.
 """
 
 from __future__ import annotations
@@ -30,6 +44,8 @@ import json
 import os
 import subprocess
 import sys
+import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -58,6 +74,95 @@ class TaskSpec:
     def to_dict(self) -> Dict[str, Any]:
         return {"task_id": self.task_id, "fn": self.fn,
                 "payload": dict(self.payload)}
+
+
+#: Key under which a :class:`TaskFailure` dict rides in a result slot when a
+#: fault-tolerant backend absorbed the failure instead of raising.
+FAILURE_KEY = "__task_failure__"
+
+#: The failure kinds a backend can record.
+FAILURE_KINDS = ("crash", "timeout", "bad-output")
+
+#: How many trailing characters of a worker's stderr/traceback a
+#: :class:`TaskFailure` keeps (enough to triage, bounded so campaign
+#: artifacts stay small).
+STDERR_TAIL_CHARS = 2000
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of one task that failed after all retry attempts.
+
+    ``kind`` is one of :data:`FAILURE_KINDS`: ``"crash"`` (nonzero exit or
+    in-process exception), ``"timeout"`` (the worker exceeded the per-task
+    wall-clock budget and was killed) or ``"bad-output"`` (the worker exited
+    0 but printed something that is not a JSON object).  ``attempts`` counts
+    every execution, so ``attempts - 1`` is the number of retries consumed.
+    """
+
+    task_id: str
+    fn: str
+    kind: str
+    attempts: int = 1
+    exit_code: Optional[int] = None
+    timeout_seconds: Optional[float] = None
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ValueError(
+                f"failure kind must be one of {FAILURE_KINDS}, got {self.kind!r}")
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "task_id": self.task_id,
+            "fn": self.fn,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "exit_code": self.exit_code,
+            "timeout_seconds": self.timeout_seconds,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TaskFailure":
+        return cls(task_id=data["task_id"], fn=data["fn"], kind=data["kind"],
+                   attempts=int(data.get("attempts", 1)),
+                   exit_code=data.get("exit_code"),
+                   timeout_seconds=data.get("timeout_seconds"),
+                   detail=data.get("detail", ""))
+
+    def as_result(self) -> Dict[str, Any]:
+        """This failure in result-slot form (``{FAILURE_KEY: {...}}``)."""
+        return {FAILURE_KEY: self.to_dict()}
+
+    def raise_(self) -> None:
+        """Re-raise this failure as the RuntimeError the fail-fast contract
+        would have produced."""
+        raise RuntimeError(
+            f"task {self.task_id!r} ({self.fn}) failed [{self.kind}] after "
+            f"{self.attempts} attempt(s):\n{self.detail}".rstrip())
+
+
+def is_failure_result(result: Optional[Dict[str, Any]]) -> bool:
+    """True iff ``result`` is a failure record a fault-tolerant backend
+    produced (see :data:`FAILURE_KEY`)."""
+    return isinstance(result, dict) and FAILURE_KEY in result
+
+
+def failure_from_result(result: Dict[str, Any]) -> TaskFailure:
+    """The :class:`TaskFailure` inside a failure result slot."""
+    return TaskFailure.from_dict(result[FAILURE_KEY])
+
+
+def retry_backoff_schedule(retries: int, base: float = 0.1) -> List[float]:
+    """The deterministic sleep (seconds) before each retry attempt:
+    ``base * 2**i`` for retry ``i``.  Pure function of its arguments — the
+    schedule never depends on clocks or load, so retried campaigns stay
+    reproducible in everything but wall time."""
+    return [base * (2 ** i) for i in range(max(retries, 0))]
 
 
 def resolve_task_fn(ref: str) -> Callable[[Dict[str, Any]], Dict[str, Any]]:
@@ -100,15 +205,45 @@ class ExecBackend:
 
 
 class InlineBackend(ExecBackend):
-    """Run every task serially in this process (``--jobs 1``)."""
+    """Run every task serially in this process (``--jobs 1``).
+
+    ``fault_tolerant=True`` converts an exception raised by a task function
+    into a :class:`TaskFailure` result slot (kind ``"crash"``, the traceback
+    tail as detail) after ``retries`` deterministic re-attempts, mirroring
+    the process pool's contract.  Per-task timeouts cannot be enforced
+    in-process; inline fault tolerance covers crashes only.
+    """
+
+    def __init__(self, fault_tolerant: bool = False, retries: int = 0) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.fault_tolerant = fault_tolerant
+        self.retries = retries
+
+    def run_one(self, task: TaskSpec) -> Dict[str, Any]:
+        """Run one task in-process; absorb failures when fault-tolerant."""
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                fn = resolve_task_fn(task.fn)
+                return canonicalize(fn(dict(task.payload)))
+            except Exception:
+                if attempts <= self.retries:
+                    continue
+                if not self.fault_tolerant:
+                    raise
+                tail = traceback.format_exc()[-STDERR_TAIL_CHARS:]
+                return canonicalize(TaskFailure(
+                    task_id=task.task_id, fn=task.fn, kind="crash",
+                    attempts=attempts, detail=tail).as_result())
 
     def run(self, tasks: Sequence[TaskSpec],
             progress: Optional[ProgressFn] = None) -> List[Dict[str, Any]]:
         tasks = list(tasks)
         results: List[Dict[str, Any]] = []
         for index, task in enumerate(tasks):
-            fn = resolve_task_fn(task.fn)
-            result = canonicalize(fn(dict(task.payload)))
+            result = self.run_one(task)
             results.append(result)
             if progress is not None:
                 progress(task, result, index + 1, len(tasks))
@@ -121,24 +256,87 @@ class ProcessPoolBackend(ExecBackend):
     Concurrency is managed with a thread pool whose workers each drive one
     ``python -m repro.exec.worker`` subprocess to completion, so every task
     gets per-process isolation while the parent stays a single process.
+
+    ``timeout`` (seconds, per attempt) kills a hung worker;
+    ``retries``/``retry_backoff`` re-run a crashed/hung/garbled task on the
+    deterministic :func:`retry_backoff_schedule` before giving up.  With
+    ``fault_tolerant=True`` the final failure becomes a :class:`TaskFailure`
+    result slot; otherwise it raises, preserving the historical fail-fast
+    contract.
     """
 
-    def __init__(self, jobs: int = 1) -> None:
+    def __init__(self, jobs: int = 1, timeout: Optional[float] = None,
+                 retries: int = 0, retry_backoff: float = 0.1,
+                 fault_tolerant: bool = False) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.fault_tolerant = fault_tolerant
+
+    # ------------------------------------------------------------- one attempt
+    def _attempt(self, task: TaskSpec) -> "Dict[str, Any] | TaskFailure":
+        """One subprocess execution: the result dict, or a single-attempt
+        :class:`TaskFailure` describing what went wrong."""
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.exec.worker"],
+                input=json.dumps(task.to_dict()),
+                capture_output=True, text=True, env=worker_env(),
+                timeout=self.timeout)
+        except subprocess.TimeoutExpired as exc:
+            stderr = exc.stderr or b""
+            if isinstance(stderr, bytes):
+                stderr = stderr.decode("utf-8", "replace")
+            return TaskFailure(
+                task_id=task.task_id, fn=task.fn, kind="timeout",
+                timeout_seconds=self.timeout,
+                detail=(f"worker exceeded {self.timeout:g}s and was killed\n"
+                        + stderr)[-STDERR_TAIL_CHARS:].rstrip())
+        if proc.returncode != 0:
+            return TaskFailure(
+                task_id=task.task_id, fn=task.fn, kind="crash",
+                exit_code=proc.returncode,
+                detail=proc.stderr[-STDERR_TAIL_CHARS:].rstrip())
+        try:
+            result = json.loads(proc.stdout)
+            if not isinstance(result, dict):
+                raise ValueError("worker output is not a JSON object")
+        except ValueError:
+            return TaskFailure(
+                task_id=task.task_id, fn=task.fn, kind="bad-output",
+                exit_code=proc.returncode,
+                detail=("worker exited 0 but emitted invalid JSON:\n"
+                        + proc.stdout[-STDERR_TAIL_CHARS:]).rstrip())
+        return result
 
     def run_one(self, task: TaskSpec) -> Dict[str, Any]:
-        """Run one task in a fresh interpreter and return its result dict."""
-        proc = subprocess.run(
-            [sys.executable, "-m", "repro.exec.worker"],
-            input=json.dumps(task.to_dict()),
-            capture_output=True, text=True, env=worker_env())
-        if proc.returncode != 0:
-            raise RuntimeError(
-                f"task {task.task_id!r} ({task.fn}) failed "
-                f"(exit {proc.returncode}):\n{proc.stderr.strip()}")
-        return json.loads(proc.stdout)
+        """Run one task to completion (retries included) and return its
+        result dict — or its failure slot when fault-tolerant."""
+        backoffs = retry_backoff_schedule(self.retries, self.retry_backoff)
+        failure: Optional[TaskFailure] = None
+        for attempt in range(self.retries + 1):
+            if attempt > 0 and backoffs[attempt - 1] > 0:
+                time.sleep(backoffs[attempt - 1])
+            outcome = self._attempt(task)
+            if not isinstance(outcome, TaskFailure):
+                return outcome
+            failure = TaskFailure(
+                task_id=outcome.task_id, fn=outcome.fn, kind=outcome.kind,
+                attempts=attempt + 1, exit_code=outcome.exit_code,
+                timeout_seconds=outcome.timeout_seconds,
+                detail=outcome.detail)
+        assert failure is not None
+        if self.fault_tolerant:
+            return canonicalize(failure.as_result())
+        failure.raise_()
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def run(self, tasks: Sequence[TaskSpec],
             progress: Optional[ProgressFn] = None) -> List[Dict[str, Any]]:
@@ -164,9 +362,16 @@ class ProcessPoolBackend(ExecBackend):
         return results  # type: ignore[return-value]
 
 
-def backend_for_jobs(jobs: int = 1) -> ExecBackend:
+def backend_for_jobs(jobs: int = 1, timeout: Optional[float] = None,
+                     retries: int = 0,
+                     fault_tolerant: bool = False) -> ExecBackend:
     """The conventional mapping every ``--jobs N`` flag uses: 1 means inline
-    (no subprocess overhead), anything larger means a process pool."""
+    (no subprocess overhead), anything larger means a process pool.  The
+    hardening knobs forward to the chosen backend (``timeout`` applies only
+    to the process pool — inline tasks cannot be interrupted)."""
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
-    return InlineBackend() if jobs == 1 else ProcessPoolBackend(jobs=jobs)
+    if jobs == 1:
+        return InlineBackend(fault_tolerant=fault_tolerant, retries=retries)
+    return ProcessPoolBackend(jobs=jobs, timeout=timeout, retries=retries,
+                              fault_tolerant=fault_tolerant)

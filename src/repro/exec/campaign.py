@@ -24,6 +24,8 @@ from repro.exec.backend import (
     ExecBackend,
     TaskSpec,
     backend_for_jobs,
+    failure_from_result,
+    is_failure_result,
 )
 from repro.exec.sweep import SweepSpec, SweepTask
 
@@ -58,16 +60,25 @@ class CampaignReport:
 
     @property
     def passed(self) -> bool:
-        return all(entry["report"]["passed"] for entry in self.tasks)
+        return all(self.claims().values())
 
     @property
     def failed_tasks(self) -> List[str]:
-        return [entry["task_id"] for entry in self.tasks
-                if not entry["report"]["passed"]]
+        return [task_id for task_id, ok in self.claims().items() if not ok]
+
+    @property
+    def task_failures(self) -> List[Dict[str, Any]]:
+        """The structured :class:`~repro.exec.backend.TaskFailure` dicts of
+        every task whose *worker* crashed, hung or emitted garbage (empty
+        for campaigns run without ``fault_tolerant=True``)."""
+        return [entry["failure"] for entry in self.tasks if "failure" in entry]
 
     def claims(self) -> Dict[str, bool]:
-        """Flat ``task_id -> all invariants hold`` map."""
-        return {entry["task_id"]: bool(entry["report"]["passed"])
+        """Flat ``task_id -> all invariants hold`` map.  A task whose worker
+        failed (a ``"failure"`` entry instead of a ``"report"``) never
+        passes: an unverifiable invariant is a failed claim."""
+        return {entry["task_id"]: ("report" in entry
+                                   and bool(entry["report"]["passed"]))
                 for entry in self.tasks}
 
     # ------------------------------------------------------------ serialization
@@ -107,9 +118,14 @@ class CampaignRunner:
     """Expand a sweep, fan its tasks out, merge the reports."""
 
     def __init__(self, sweep: SweepSpec, jobs: int = 1,
-                 backend: Optional[ExecBackend] = None) -> None:
+                 backend: Optional[ExecBackend] = None,
+                 fault_tolerant: bool = False,
+                 task_timeout: Optional[float] = None,
+                 retries: int = 0) -> None:
         self.sweep = sweep
-        self.backend = backend if backend is not None else backend_for_jobs(jobs)
+        self.backend = backend if backend is not None else backend_for_jobs(
+            jobs, timeout=task_timeout, retries=retries,
+            fault_tolerant=fault_tolerant)
 
     def task_specs(self, tasks: Optional[List[SweepTask]] = None) -> List[TaskSpec]:
         """The backend tasks this campaign dispatches, in sweep order."""
@@ -139,6 +155,13 @@ class CampaignRunner:
         results = self.backend.run(self.task_specs(tasks), progress=on_result)
         entries = []
         for task, report in zip(tasks, results):
+            if is_failure_result(report):
+                # A fault-tolerant backend absorbed a worker crash/timeout:
+                # record the structured failure (retry count included) in the
+                # task's slot instead of aborting the whole campaign.
+                entries.append({**task.to_dict(),
+                                "failure": failure_from_result(report).to_dict()})
+                continue
             report = dict(report)
             # Walls are machine noise; the artifact must be byte-reproducible.
             report["wall_seconds"] = None
@@ -148,7 +171,8 @@ class CampaignRunner:
         # --jobs value; it is None (no key at all) without telemetry.
         from repro.telemetry.recorder import merge_telemetry_dicts
         telemetry = merge_telemetry_dicts(
-            entry["report"].get("telemetry") for entry in entries)
+            entry["report"].get("telemetry") for entry in entries
+            if "report" in entry)
         return CampaignReport(name=self.sweep.name,
                               master_seed=self.sweep.master_seed,
                               sweep=self.sweep.to_dict(), tasks=entries,
@@ -156,6 +180,11 @@ class CampaignRunner:
 
 
 def run_campaign(sweep: SweepSpec, jobs: int = 1,
-                 progress: Optional[CampaignProgressFn] = None) -> CampaignReport:
+                 progress: Optional[CampaignProgressFn] = None,
+                 fault_tolerant: bool = False,
+                 task_timeout: Optional[float] = None,
+                 retries: int = 0) -> CampaignReport:
     """Convenience wrapper: expand, dispatch across ``jobs`` cores, merge."""
-    return CampaignRunner(sweep, jobs=jobs).run(progress=progress)
+    return CampaignRunner(sweep, jobs=jobs, fault_tolerant=fault_tolerant,
+                          task_timeout=task_timeout,
+                          retries=retries).run(progress=progress)

@@ -18,8 +18,9 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
+from repro.exec.backend import FAILURE_KEY, is_failure_result
 from repro.exec.campaign import CampaignReport, CampaignRunner
 from repro.exec.demo import DEMO_SWEEPS, get_demo_sweep
 from repro.exec.sweep import SweepSpec
@@ -52,6 +53,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", action="store_true",
                         help="print the campaign artifact as canonical JSON "
                              "instead of the summary table")
+    parser.add_argument("--fault-tolerant", action="store_true",
+                        help="record a crashed/hung worker as a structured "
+                             "TaskFailure entry in the campaign artifact "
+                             "instead of aborting the whole campaign")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill any worker running longer than this "
+                             "(process-pool jobs only)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-run a failed task up to N times "
+                             "(deterministic exponential backoff) before "
+                             "recording the failure")
     return parser
 
 
@@ -60,6 +73,12 @@ def _summary(report: CampaignReport) -> str:
 
     rows = []
     for entry in report.tasks:
+        if "failure" in entry:
+            failure = entry["failure"]
+            rows.append((entry["task_id"], "-", "-", "-",
+                         f"FAIL (worker {failure['kind']}, "
+                         f"{failure['attempts']} attempts)"))
+            continue
         scenario = entry["report"].get("scenario") or {}
         rows.append((entry["task_id"], scenario.get("subscribers_initial", "-"),
                      scenario.get("shards", "-"), len(scenario.get("phases", [])),
@@ -101,11 +120,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"{sweep.master_seed}, jobs={args.jobs}", file=sys.stderr)
 
     def progress(task: Any, report: Any, done: int, _total: int) -> None:
-        verdict = "PASS" if report["passed"] else "FAIL"
+        if is_failure_result(report):
+            verdict = f"FAIL (worker {report[FAILURE_KEY]['kind']})"
+        else:
+            verdict = "PASS" if report["passed"] else "FAIL"
         print(f"  [{done}/{total}] {task.task_id:40s} {verdict}",
               file=sys.stderr)
 
-    report = CampaignRunner(sweep, jobs=max(args.jobs, 1)).run(progress=progress)
+    report = CampaignRunner(sweep, jobs=max(args.jobs, 1),
+                            fault_tolerant=args.fault_tolerant,
+                            task_timeout=args.task_timeout,
+                            retries=max(args.retries, 0)).run(progress=progress)
     if args.out:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(report.to_json(indent=2) + "\n")

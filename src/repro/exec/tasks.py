@@ -115,3 +115,24 @@ def run_bench_case(payload: Dict[str, Any]) -> Dict[str, Any]:
         "events_per_sec": round(events / wall) if events else None,
         "peak_rss_kb": peak_rss_kb,
     }
+
+
+def misbehave(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Diagnostic task that fails on demand — the test fixture for the
+    fault-tolerant layer.  ``payload["mode"]`` selects the failure:
+    ``"crash"`` raises, ``"exit"`` hard-exits with ``payload["code"]``,
+    ``"hang"`` sleeps ``payload["seconds"]`` (long enough to trip a task
+    timeout), ``"garbage-stdout"`` corrupts the worker's JSON protocol,
+    and anything else succeeds."""
+    mode = payload.get("mode", "ok")
+    if mode == "crash":
+        raise RuntimeError(payload.get("detail", "injected crash"))
+    if mode == "exit":
+        import os
+        os._exit(int(payload.get("code", 3)))
+    if mode == "hang":
+        time.sleep(float(payload.get("seconds", 60.0)))
+    if mode == "garbage-stdout":
+        import sys
+        print("this is not the JSON you are looking for", file=sys.stdout)
+    return {"ok": True, "mode": mode}

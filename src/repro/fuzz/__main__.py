@@ -1,0 +1,6 @@
+"""``python -m repro.fuzz`` — run the fuzzer CLI."""
+
+from repro.fuzz.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,383 @@
+"""The coverage-guided fuzz campaign: generate → run → observe → shrink.
+
+One :class:`FuzzCampaign` executes the loop the issue calls "a machine that
+imagines scenarios":
+
+1. draw a batch of specs — fresh from the generator, or mutants of pool
+   specs that previously discovered new coverage;
+2. fan the batch out through the **fault-tolerant** exec layer (per-task
+   timeouts, crashed-worker detection, bounded deterministic retries — one
+   pathological spec can kill its worker, never the campaign);
+3. merge results *in submission order*: update the coverage map, admit
+   coverage-discovering specs to the mutation pool, record oracle failures
+   and worker failures as findings (deduplicated by signature);
+4. when the budget is spent (or enough findings accumulated), delta-debug
+   every finding down to a minimal spec that still fails the same way.
+
+Byte-reproducibility: generation draws from one ``derive_rng`` stream whose
+consumption depends only on the seed and the (deterministic) results of
+previous batches; batches are a fixed size regardless of ``--jobs``;
+results are merged in submission order; nothing wall-clock ever enters the
+report.  Same seed + same iteration budget ⇒ identical findings, identical
+coverage trail, identical artifact bytes at any job count.  (A wall-clock
+budget — ``budget_seconds`` — necessarily trades this away; it exists for
+CI smoke jobs and is recorded as ``truncated`` in the report.)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.exec.backend import (
+    ExecBackend,
+    TaskSpec,
+    backend_for_jobs,
+    failure_from_result,
+    is_failure_result,
+)
+from repro.fuzz.coverage import CoverageMap
+from repro.fuzz.generator import GeneratorLimits, SpecGenerator, generated_name
+from repro.fuzz.oracle import OracleSpec, Verdict
+from repro.fuzz.shrink import Shrinker
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.rng import derive_rng
+
+#: Dotted reference of the task function every fuzz iteration runs.
+FUZZ_TASK_FN = "repro.fuzz.tasks:run_fuzz_case"
+
+#: ``progress(iteration, total, spec_name, status, detail)`` — status is
+#: ``"ok"``, ``"new-coverage"``, ``"finding"`` or ``"worker-failure"``.
+FuzzProgressFn = Callable[[int, int, str, str, str], None]
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Everything that determines a campaign's results (and nothing that
+    doesn't): JSON round-trippable, embedded verbatim in the report."""
+
+    seed: int = 0
+    budget_iters: int = 64
+    batch_size: int = 8
+    scheduler: str = "wheel"
+    mutate_probability: float = 0.6
+    pool_cap: int = 64
+    max_findings: int = 8
+    shrink_budget: int = 120
+    limits: GeneratorLimits = field(default_factory=GeneratorLimits)
+    oracle: OracleSpec = field(default_factory=OracleSpec)
+
+    def __post_init__(self) -> None:
+        if self.budget_iters < 1:
+            raise ValueError("budget_iters must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not 0.0 <= self.mutate_probability <= 1.0:
+            raise ValueError("mutate_probability must lie in [0, 1]")
+        if self.pool_cap < 1:
+            raise ValueError("pool_cap must be >= 1")
+        if self.max_findings < 1:
+            raise ValueError("max_findings must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "budget_iters": self.budget_iters,
+            "batch_size": self.batch_size,
+            "scheduler": self.scheduler,
+            "mutate_probability": self.mutate_probability,
+            "pool_cap": self.pool_cap,
+            "max_findings": self.max_findings,
+            "shrink_budget": self.shrink_budget,
+            "limits": self.limits.to_dict(),
+            "oracle": self.oracle.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FuzzConfig":
+        payload = dict(data)
+        payload["limits"] = GeneratorLimits.from_dict(
+            payload.get("limits") or {})
+        payload["oracle"] = OracleSpec.from_dict(payload.get("oracle"))
+        return cls(**payload)
+
+
+@dataclass
+class FuzzFinding:
+    """One deduplicated failure: the spec that first hit it, every later
+    occurrence counted, and the shrunk minimal reproduction."""
+
+    finding_id: str
+    signature: Tuple[str, ...]
+    kind: str                      # "oracle" | "worker"
+    iteration: int                 # 0-based iteration of first occurrence
+    spec: Dict[str, Any]           # original (unshrunk) failing spec
+    seed: int                      # per-case run seed
+    reasons: Tuple[str, ...] = ()
+    worker_failure: Optional[Dict[str, Any]] = None
+    occurrences: int = 1
+    shrunk_spec: Optional[Dict[str, Any]] = None
+    shrink_evals: int = 0
+    shrink_steps: int = 0
+    shrink_budget_exhausted: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "finding_id": self.finding_id,
+            "signature": list(self.signature),
+            "kind": self.kind,
+            "iteration": self.iteration,
+            "spec": dict(self.spec),
+            "seed": self.seed,
+            "reasons": list(self.reasons),
+            "worker_failure": self.worker_failure,
+            "occurrences": self.occurrences,
+            "shrunk_spec": self.shrunk_spec,
+            "shrink_evals": self.shrink_evals,
+            "shrink_steps": self.shrink_steps,
+            "shrink_budget_exhausted": self.shrink_budget_exhausted,
+        }
+
+    def corpus_artifact(self, fuzz_seed: int) -> Dict[str, Any]:
+        """The standalone JSON artifact a triager commits into
+        ``tests/corpus/`` once the underlying bug is fixed (see FUZZING.md).
+        ``spec``/``seed``/``scheduler`` are exactly what the corpus replay
+        collector feeds back through the scenario runner."""
+        return {
+            "schema": 1,
+            "spec": self.shrunk_spec if self.shrunk_spec is not None
+            else dict(self.spec),
+            "seed": self.seed,
+            "scheduler": "wheel",
+            "source": {
+                "tool": "repro-fuzz",
+                "fuzz_seed": fuzz_seed,
+                "iteration": self.iteration,
+                "signature": list(self.signature),
+                "reasons": list(self.reasons),
+                "original_spec": dict(self.spec),
+            },
+        }
+
+
+@dataclass
+class FuzzReport:
+    """The campaign artifact: canonical JSON, wall-clock free."""
+
+    config: FuzzConfig
+    iterations: int = 0
+    truncated: bool = False
+    coverage: Optional[CoverageMap] = None
+    trail: List[Dict[str, Any]] = field(default_factory=list)
+    findings: List[FuzzFinding] = field(default_factory=list)
+    pool_size: int = 0
+    schema: int = 1
+
+    @property
+    def passed(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, Any]:
+        coverage = self.coverage if self.coverage is not None else CoverageMap()
+        return {
+            "schema": self.schema,
+            "config": self.config.to_dict(),
+            "iterations": self.iterations,
+            "truncated": self.truncated,
+            "coverage": coverage.to_dict(),
+            "trail": [dict(entry) for entry in self.trail],
+            "findings": [f.to_dict() for f in self.findings],
+            "pool_size": self.pool_size,
+            "passed": self.passed,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        if indent is not None:
+            return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+class FuzzCampaign:
+    """Drive one coverage-guided fuzz campaign through an exec backend."""
+
+    def __init__(self, config: FuzzConfig, jobs: int = 1,
+                 backend: Optional[ExecBackend] = None,
+                 task_timeout: Optional[float] = 300.0,
+                 retries: int = 1,
+                 budget_seconds: Optional[float] = None) -> None:
+        self.config = config
+        # Fault tolerance is not optional for a fuzzer: the whole point is
+        # feeding the system inputs that might wedge it.
+        self.backend = backend if backend is not None else backend_for_jobs(
+            jobs, timeout=task_timeout, retries=retries, fault_tolerant=True)
+        self.budget_seconds = budget_seconds
+        self.generator = SpecGenerator(config.limits)
+
+    # -------------------------------------------------------------- case seeds
+    def case_seed(self, iteration: int) -> int:
+        """The run seed of iteration ``i`` — derived, stable, independent of
+        batching and job count."""
+        return derive_rng(self.config.seed, "fuzz", "case",
+                          iteration).getrandbits(32)
+
+    def _task(self, spec: ScenarioSpec, iteration: int) -> TaskSpec:
+        return TaskSpec(
+            task_id=spec.name, fn=FUZZ_TASK_FN,
+            payload={"spec": spec.to_dict(),
+                     "seed": self.case_seed(iteration),
+                     "scheduler": self.config.scheduler,
+                     "oracle": self.config.oracle.to_dict()})
+
+    # -------------------------------------------------------------------- run
+    def run(self, progress: Optional[FuzzProgressFn] = None) -> FuzzReport:
+        cfg = self.config
+        rng = derive_rng(cfg.seed, "fuzz", "gen")
+        coverage = CoverageMap()
+        pool: List[Dict[str, Any]] = []
+        findings: Dict[Tuple[str, ...], FuzzFinding] = {}
+        trail: List[Dict[str, Any]] = []
+        report = FuzzReport(config=cfg, coverage=coverage, trail=trail)
+
+        deadline = None
+        if self.budget_seconds is not None:
+            deadline = (time.monotonic()  # repro: allow[no-ambient-nondeterminism]
+                        + self.budget_seconds)
+
+        iteration = 0
+        while iteration < cfg.budget_iters:
+            if deadline is not None and (
+                    time.monotonic() > deadline):  # repro: allow[no-ambient-nondeterminism]
+                report.truncated = True
+                break
+            batch: List[ScenarioSpec] = []
+            for offset in range(min(cfg.batch_size,
+                                    cfg.budget_iters - iteration)):
+                name = generated_name(cfg.seed, iteration + offset)
+                if pool and rng.random() < cfg.mutate_probability:
+                    base = ScenarioSpec.from_dict(rng.choice(pool))
+                    batch.append(self.generator.mutate(rng, base, name))
+                else:
+                    batch.append(self.generator.random_spec(rng, name))
+            tasks = [self._task(spec, iteration + offset)
+                     for offset, spec in enumerate(batch)]
+            results = self.backend.run(tasks)
+
+            for offset, (spec, result) in enumerate(zip(batch, results)):
+                index = iteration + offset
+                self._observe(index, spec, result, coverage, pool, findings,
+                              trail, progress)
+            iteration += len(batch)
+            if len(findings) >= cfg.max_findings:
+                break
+
+        report.iterations = iteration
+        report.pool_size = len(pool)
+        report.findings = sorted(findings.values(),
+                                 key=lambda f: f.iteration)
+        for number, finding in enumerate(report.findings):
+            finding.finding_id = f"fuzz-s{cfg.seed}-f{number:03d}"
+            self._shrink(finding)
+        return report
+
+    # ------------------------------------------------------------ observation
+    def _observe(self, index: int, spec: ScenarioSpec,
+                 result: Optional[Dict[str, Any]], coverage: CoverageMap,
+                 pool: List[Dict[str, Any]],
+                 findings: Dict[Tuple[str, ...], FuzzFinding],
+                 trail: List[Dict[str, Any]],
+                 progress: Optional[FuzzProgressFn]) -> None:
+        cfg = self.config
+        total = cfg.budget_iters
+        if result is None or is_failure_result(result):
+            failure = (failure_from_result(result).to_dict()
+                       if result is not None else
+                       {"kind": "crash", "detail": "backend returned nothing"})
+            signature = (f"worker:{failure['kind']}",)
+            if signature in findings:
+                findings[signature].occurrences += 1
+            else:
+                findings[signature] = FuzzFinding(
+                    finding_id="", signature=signature, kind="worker",
+                    iteration=index, spec=spec.to_dict(),
+                    seed=self.case_seed(index),
+                    worker_failure=failure)
+            if progress is not None:
+                progress(index + 1, total, spec.name, "worker-failure",
+                         failure["kind"])
+            return
+
+        new_keys = coverage.add(result["coverage"])
+        if new_keys:
+            trail.append({"iteration": index, "new_keys": new_keys})
+            pool.append(spec.to_dict())
+            if len(pool) > cfg.pool_cap:
+                # FIFO eviction: old discoveries rotate out deterministically.
+                del pool[0]
+
+        verdict = Verdict.from_dict(result["verdict"])
+        if verdict.failed:
+            if verdict.signature in findings:
+                findings[verdict.signature].occurrences += 1
+            else:
+                findings[verdict.signature] = FuzzFinding(
+                    finding_id="", signature=verdict.signature, kind="oracle",
+                    iteration=index, spec=spec.to_dict(),
+                    seed=self.case_seed(index), reasons=verdict.reasons)
+            status = "finding"
+            detail = "; ".join(verdict.signature)
+        else:
+            status = "new-coverage" if new_keys else "ok"
+            detail = f"+{len(new_keys)} keys" if new_keys else ""
+        if progress is not None:
+            progress(index + 1, total, spec.name, status, detail)
+
+    # -------------------------------------------------------------- shrinking
+    def _still_fails_fn(self, finding: FuzzFinding
+                        ) -> Callable[[ScenarioSpec], bool]:
+        """The signature-preserving check the shrinker re-runs candidates
+        through: same case seed, same oracle, same exec-layer hardening."""
+        cfg = self.config
+
+        def still_fails(candidate: ScenarioSpec) -> bool:
+            task = TaskSpec(
+                task_id=f"shrink-{candidate.name}", fn=FUZZ_TASK_FN,
+                payload={"spec": candidate.to_dict(), "seed": finding.seed,
+                         "scheduler": cfg.scheduler,
+                         "oracle": cfg.oracle.to_dict()})
+            result = self.backend.run([task])[0]
+            if result is None or is_failure_result(result):
+                if finding.kind != "worker":
+                    return False
+                failure = (failure_from_result(result)
+                           if result is not None else None)
+                kind = failure.kind if failure is not None else "crash"
+                return (f"worker:{kind}",) == finding.signature
+            if finding.kind == "worker":
+                return False
+            verdict = Verdict.from_dict(result["verdict"])
+            return verdict.failed and verdict.signature == finding.signature
+
+        return still_fails
+
+    def _shrink(self, finding: FuzzFinding) -> None:
+        shrinker = Shrinker(self._still_fails_fn(finding),
+                            budget=self.config.shrink_budget)
+        outcome = shrinker.shrink(ScenarioSpec.from_dict(finding.spec))
+        finding.shrunk_spec = outcome.spec.to_dict()
+        finding.shrink_evals = outcome.evals
+        finding.shrink_steps = outcome.accepted_steps
+        finding.shrink_budget_exhausted = outcome.budget_exhausted
+
+
+def run_fuzz_campaign(config: FuzzConfig, jobs: int = 1,
+                      progress: Optional[FuzzProgressFn] = None,
+                      task_timeout: Optional[float] = 300.0,
+                      retries: int = 1,
+                      budget_seconds: Optional[float] = None) -> FuzzReport:
+    """Convenience wrapper: one campaign, one report."""
+    return FuzzCampaign(config, jobs=jobs, task_timeout=task_timeout,
+                        retries=retries,
+                        budget_seconds=budget_seconds).run(progress=progress)

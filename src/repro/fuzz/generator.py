@@ -1,0 +1,245 @@
+"""Seeded generation and mutation over the full ScenarioSpec fault space.
+
+Every spec a :class:`SpecGenerator` produces is **valid by construction**:
+magnitudes are drawn inside the bounds :class:`~repro.scenarios.spec`
+validates (loss/duplication rates in ``[0, 1)``, partition fractions in
+``(0, 1)``, ``crash_supervisor`` only on the sharded facade, enough
+subscribers per topic for crash waves to leave two live members), and the
+resulting :class:`~repro.scenarios.spec.ScenarioSpec` is still constructed
+through its validating ``__post_init__`` — a generator bug raises loudly
+instead of producing an unrunnable spec.  Specs inherit the spec layer's
+lossless JSON round-trip, so any generated case can be written down,
+replayed, shrunk, and committed as a regression artifact.
+
+Generation is a pure function of the :class:`random.Random` stream passed
+in (always a :func:`repro.sim.rng.derive_rng` stream in practice), which is
+what makes whole fuzz campaigns byte-reproducible.
+
+The fault dimensions covered — the full product space the coverage signal
+steers through:
+
+* **link faults** — probabilistic loss, duplication, delay spikes;
+* **named partitions** with heals scheduled either inside the disruption
+  window or into the settle window (both orderings are distinct coverage);
+* **churn storms** — join/leave/crash event streams over the window;
+* **crash waves** — instantaneous fractional membership loss;
+* **supervisor crashes** and **shard counts** on the sharded facade;
+* **publication storms** that make the delivery invariant meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.scenarios.spec import PartitionSpec, PhaseSpec, ScenarioSpec
+
+#: The disruption kinds a generated phase samples from (``crash_supervisor``
+#: joins the menu only on the sharded facade).
+PHASE_KINDS = ("churn", "crash_wave", "publications", "loss", "duplication",
+               "delay_spike", "partition")
+
+
+@dataclass(frozen=True)
+class GeneratorLimits:
+    """Bounds of the generated fault space.
+
+    The defaults size specs to run in roughly a second each, so a fuzz
+    campaign gets through a meaningful number of iterations per minute;
+    tests shrink them further, large hunts can raise them.  All bounds are
+    inclusive and JSON round-trippable.
+    """
+
+    max_phases: int = 3
+    min_subscribers: int = 8
+    max_subscribers: int = 18
+    max_topics: int = 2
+    max_shards: int = 3
+    min_rounds: float = 8.0
+    max_rounds: float = 24.0
+    settle_rounds: float = 300.0
+    max_churn_ops: int = 4
+    max_crash_fraction: float = 0.34
+    max_publications: int = 6
+    max_loss_rate: float = 0.18
+    max_duplicate_rate: float = 0.12
+    delay_spike_factors: Tuple[float, ...] = (2.0, 3.0, 5.0)
+    sharded_probability: float = 0.4
+    crash_supervisor_probability: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_phases < 1:
+            raise ValueError("max_phases must be >= 1")
+        if self.min_subscribers < 2:
+            raise ValueError("min_subscribers must be >= 2")
+        if self.max_subscribers < self.min_subscribers:
+            raise ValueError("max_subscribers must be >= min_subscribers")
+        if self.max_topics < 1:
+            raise ValueError("max_topics must be >= 1")
+        if self.max_shards < 2:
+            raise ValueError("max_shards must be >= 2 (sharded facades need "
+                             "at least two shards to be interesting)")
+        if not 0 < self.min_rounds <= self.max_rounds:
+            raise ValueError("need 0 < min_rounds <= max_rounds")
+        if self.settle_rounds < 0:
+            raise ValueError("settle_rounds must be non-negative")
+        if not 0.0 <= self.max_loss_rate < 1.0:
+            raise ValueError("max_loss_rate must lie in [0, 1)")
+        if not 0.0 <= self.max_duplicate_rate < 1.0:
+            raise ValueError("max_duplicate_rate must lie in [0, 1)")
+        if not 0.0 <= self.max_crash_fraction < 1.0:
+            raise ValueError("max_crash_fraction must lie in [0, 1)")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = asdict(self)
+        out["delay_spike_factors"] = list(self.delay_spike_factors)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GeneratorLimits":
+        payload = dict(data)
+        if "delay_spike_factors" in payload:
+            payload["delay_spike_factors"] = tuple(
+                payload["delay_spike_factors"])
+        return cls(**payload)
+
+
+class SpecGenerator:
+    """Draw valid :class:`ScenarioSpec`\\ s (and mutants of them) from an RNG."""
+
+    def __init__(self, limits: Optional[GeneratorLimits] = None) -> None:
+        self.limits = limits if limits is not None else GeneratorLimits()
+
+    # ---------------------------------------------------------------- freshness
+    def random_spec(self, rng: random.Random, name: str) -> ScenarioSpec:
+        """One fresh spec drawn uniformly-ish over the fault space."""
+        limits = self.limits
+        sharded = rng.random() < limits.sharded_probability
+        shards = rng.randint(2, limits.max_shards) if sharded else 1
+        n_topics = rng.randint(1, limits.max_topics)
+        topics = tuple(f"t{i}" for i in range(n_topics))
+        # Round-robin spread plus crash headroom: every topic keeps >= 2
+        # live members through the worst crash wave the limits allow.
+        floor = max(limits.min_subscribers, 4 * n_topics)
+        subscribers = rng.randint(floor, max(floor, limits.max_subscribers))
+        n_phases = rng.randint(1, limits.max_phases)
+        phases = tuple(self._random_phase(rng, i, sharded)
+                       for i in range(n_phases))
+        return ScenarioSpec(
+            name=name,
+            description="coverage-guided generated scenario",
+            facade="sharded" if sharded else "single",
+            shards=shards, subscribers=subscribers, topics=topics,
+            phases=phases)
+
+    def _random_phase(self, rng: random.Random, index: int,
+                      sharded: bool) -> PhaseSpec:
+        limits = self.limits
+        menu: List[str] = list(PHASE_KINDS)
+        if sharded and rng.random() < limits.crash_supervisor_probability:
+            menu.append("crash_supervisor")
+        kinds = rng.sample(menu, rng.randint(1, min(3, len(menu))))
+        rounds = round(rng.uniform(limits.min_rounds, limits.max_rounds), 1)
+
+        fields: Dict[str, Any] = {
+            "name": f"p{index}",
+            "rounds": rounds,
+            "settle_rounds": limits.settle_rounds,
+        }
+        for kind in kinds:
+            if kind == "churn":
+                ops = {"joins": 0, "leaves": 0, "crashes": 0}
+                for key in rng.sample(sorted(ops), rng.randint(1, 3)):
+                    ops[key] = rng.randint(1, limits.max_churn_ops)
+                fields.update(ops)
+            elif kind == "crash_wave":
+                fields["crash_fraction"] = round(
+                    rng.uniform(0.1, limits.max_crash_fraction), 2)
+            elif kind == "publications":
+                fields["publications"] = rng.randint(1, limits.max_publications)
+            elif kind == "loss":
+                fields["loss_rate"] = round(
+                    rng.uniform(0.02, limits.max_loss_rate), 3)
+            elif kind == "duplication":
+                fields["duplicate_rate"] = round(
+                    rng.uniform(0.02, limits.max_duplicate_rate), 3)
+            elif kind == "delay_spike":
+                fields["delay_spike_factor"] = rng.choice(
+                    list(limits.delay_spike_factors))
+            elif kind == "partition":
+                # heal_after_rounds may land inside the disruption window or
+                # run into the settle window — distinct orderings, distinct
+                # coverage keys.
+                fields["partition"] = PartitionSpec(
+                    name=f"cut{index}",
+                    fraction=round(rng.uniform(0.15, 0.45), 2),
+                    heal_after_rounds=round(rng.uniform(4.0, rounds + 10.0), 1))
+            elif kind == "crash_supervisor":
+                fields["crash_supervisor"] = True
+        return PhaseSpec(**fields)
+
+    # ---------------------------------------------------------------- mutation
+    def mutate(self, rng: random.Random, base: ScenarioSpec,
+               name: str) -> ScenarioSpec:
+        """One validity-preserving mutant of ``base`` (coverage-guided
+        campaigns mutate specs that discovered new behavior).  Applies one
+        randomly chosen applicable operator; falls back to a fresh spec when
+        an operator produces an invalid combination (never expected, but a
+        fuzzer must not crash on its own corpus)."""
+        ops = ["tweak_phase", "add_phase", "resize"]
+        if len(base.phases) > 1:
+            ops.extend(["drop_phase", "swap_phases"])
+        if len(base.phases) >= self.limits.max_phases:
+            ops.remove("add_phase")
+        op = rng.choice(sorted(ops))
+        try:
+            mutant = getattr(self, f"_op_{op}")(rng, base)
+            return replace(mutant, name=name,
+                           description=f"mutant({op}) of {base.name}")
+        except ValueError:
+            return self.random_spec(rng, name)
+
+    def _op_drop_phase(self, rng: random.Random,
+                       base: ScenarioSpec) -> ScenarioSpec:
+        victim = rng.randrange(len(base.phases))
+        phases = tuple(p for i, p in enumerate(base.phases) if i != victim)
+        return replace(base, phases=phases)
+
+    def _op_swap_phases(self, rng: random.Random,
+                        base: ScenarioSpec) -> ScenarioSpec:
+        i, j = rng.sample(range(len(base.phases)), 2)
+        phases = list(base.phases)
+        phases[i], phases[j] = phases[j], phases[i]
+        return replace(base, phases=tuple(phases))
+
+    def _op_add_phase(self, rng: random.Random,
+                      base: ScenarioSpec) -> ScenarioSpec:
+        sharded = base.facade == "sharded"
+        new = self._random_phase(rng, len(base.phases), sharded)
+        return replace(base, phases=base.phases + (new,))
+
+    def _op_resize(self, rng: random.Random,
+                   base: ScenarioSpec) -> ScenarioSpec:
+        limits = self.limits
+        floor = max(limits.min_subscribers, 4 * len(base.topics))
+        subscribers = rng.randint(floor, max(floor, limits.max_subscribers))
+        if base.facade == "sharded":
+            return replace(base, subscribers=subscribers,
+                           shards=rng.randint(2, limits.max_shards))
+        return replace(base, subscribers=subscribers)
+
+    def _op_tweak_phase(self, rng: random.Random,
+                        base: ScenarioSpec) -> ScenarioSpec:
+        """Re-draw one phase in place (same index, fresh disruption mix)."""
+        index = rng.randrange(len(base.phases))
+        sharded = base.facade == "sharded"
+        phases = list(base.phases)
+        phases[index] = self._random_phase(rng, index, sharded)
+        return replace(base, phases=tuple(phases))
+
+
+def generated_name(fuzz_seed: int, iteration: int) -> str:
+    """The canonical name of the spec generated at ``iteration`` of the
+    campaign seeded with ``fuzz_seed`` (stable across runs and job counts)."""
+    return f"fuzz-s{fuzz_seed}-i{iteration:05d}"

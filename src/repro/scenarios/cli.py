@@ -18,13 +18,15 @@ every requested scenario held.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.exec.backend import TaskSpec, backend_for_jobs
 from repro.experiments.report import format_table
 from repro.scenarios.library import SCENARIOS, get_scenario
 from repro.scenarios.runner import ScenarioReport
+from repro.scenarios.spec import ScenarioSpec
 from repro.sim.scheduler import SCHEDULER_NAMES
 
 
@@ -70,6 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list the built-in scenarios and exit")
     parser.add_argument("--run", metavar="NAME", action="append", default=[],
                         help="run the named scenario (repeatable)")
+    parser.add_argument("--spec", metavar="PATH", action="append", default=[],
+                        help="run the ScenarioSpec JSON in PATH (repeatable). "
+                             "Accepts a bare spec or a repro-fuzz corpus "
+                             "artifact ({'spec': ..., 'seed': ...}); an "
+                             "artifact's embedded seed/scheduler override "
+                             "--seed/--scheduler so findings replay exactly")
     parser.add_argument("--all", action="store_true",
                         help="run every built-in scenario")
     parser.add_argument("--seed", type=int, default=0,
@@ -95,6 +103,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def load_spec_file(path: str, default_seed: int = 0,
+                   default_scheduler: str = "wheel"
+                   ) -> "Tuple[ScenarioSpec, int, str]":
+    """Load a ``--spec`` file: a bare :class:`ScenarioSpec` dict, or a
+    corpus/finding artifact wrapping one under ``"spec"`` alongside the
+    ``seed``/``scheduler`` the failure was found with.  Returns the spec
+    plus the seed and scheduler the replay must use."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if "spec" in data and "phases" not in data:
+        spec = ScenarioSpec.from_dict(data["spec"])
+        return (spec, int(data.get("seed", default_seed)),
+                data.get("scheduler", default_scheduler))
+    return ScenarioSpec.from_dict(data), default_seed, default_scheduler
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list:
@@ -103,27 +127,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     names: List[str] = list(args.run)
     if args.all:
         names.extend(n for n in SCENARIOS if n not in names)
-    if not names:
+    if not names and not args.spec:
         build_parser().print_help()
         return 2
     try:
-        specs = [get_scenario(name) for name in names]
+        runs = [(get_scenario(name), args.seed, args.scheduler)
+                for name in names]
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    for path in args.spec:
+        try:
+            runs.append(load_spec_file(path, default_seed=args.seed,
+                                       default_scheduler=args.scheduler))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"cannot load scenario spec {path!r}: {exc}",
+                  file=sys.stderr)
+            return 2
     # Every run goes through the execution layer: --jobs 1 stays inline,
     # --jobs N uses one fresh worker process per scenario.  Both paths
     # canonicalize reports through the same JSON boundary, so the printed
     # output is byte-identical regardless of the job count.
     tasks = []
-    for spec in specs:
-        payload = {"spec": spec.to_dict(), "seed": args.seed,
-                   "scheduler": args.scheduler}
+    for spec, seed, scheduler in runs:
+        payload = {"spec": spec.to_dict(), "seed": seed,
+                   "scheduler": scheduler}
         if args.telemetry:
             # The worker builds the facade from this spec, so the histograms
             # and spans are recorded inside the run — not bolted on after.
             payload["system"] = (
-                spec.system_spec(seed=args.seed, scheduler=args.scheduler)
+                spec.system_spec(seed=seed, scheduler=scheduler)
                 .with_overrides(telemetry=True).to_dict())
         tasks.append(TaskSpec(task_id=spec.name,
                               fn="repro.exec.tasks:run_scenario_task",

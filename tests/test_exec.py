@@ -244,3 +244,102 @@ class TestDriverLayers:
             assert len(set(seeds)) == len(seeds)
         with pytest.raises(KeyError, match="unknown demo sweep"):
             get_demo_sweep("nope")
+
+
+def misbehave_task(task_id, mode, **payload):
+    return TaskSpec(task_id=task_id, fn="repro.exec.tasks:misbehave",
+                    payload={"mode": mode, **payload})
+
+
+class TestFaultTolerance:
+    def test_backoff_schedule_is_deterministic(self):
+        from repro.exec.backend import retry_backoff_schedule
+        assert retry_backoff_schedule(0) == []
+        assert retry_backoff_schedule(3) == [0.1, 0.2, 0.4]
+        assert retry_backoff_schedule(2, base=0.05) == [0.05, 0.1]
+
+    def test_task_failure_round_trip_and_kinds(self):
+        from repro.exec.backend import TaskFailure, failure_from_result, \
+            is_failure_result
+        failure = TaskFailure(task_id="t", fn="m:f", kind="timeout",
+                              attempts=3, timeout_seconds=1.5, detail="slow")
+        assert failure_from_result(failure.as_result()) == failure
+        assert is_failure_result(failure.as_result())
+        assert not is_failure_result({"report": {}})
+        assert not is_failure_result(None)
+        with pytest.raises(ValueError, match="failure kind"):
+            TaskFailure(task_id="t", fn="m:f", kind="melted")
+        with pytest.raises(RuntimeError, match=r"\[timeout\] after 3"):
+            failure.raise_()
+
+    def test_inline_fault_tolerant_absorbs_crash(self):
+        from repro.exec.backend import failure_from_result, is_failure_result
+        backend = InlineBackend(fault_tolerant=True, retries=1)
+        ok, boom = backend.run([
+            misbehave_task("ok", "ok"),
+            misbehave_task("boom", "crash", detail="kaput")])
+        assert ok == {"mode": "ok", "ok": True}
+        assert is_failure_result(boom)
+        failure = failure_from_result(boom)
+        assert failure.kind == "crash"
+        assert failure.attempts == 2          # 1 try + 1 retry
+        assert "kaput" in failure.detail
+
+    def test_inline_fail_fast_still_raises(self):
+        with pytest.raises(RuntimeError, match="injected crash"):
+            InlineBackend().run([misbehave_task("boom", "crash")])
+
+    def test_pool_worker_crash_becomes_structured_failure(self):
+        from repro.exec.backend import failure_from_result, is_failure_result
+        backend = ProcessPoolBackend(jobs=2, fault_tolerant=True)
+        ok, boom = backend.run([misbehave_task("ok", "ok"),
+                                misbehave_task("boom", "exit", code=3)])
+        assert ok == {"mode": "ok", "ok": True}
+        assert is_failure_result(boom)
+        failure = failure_from_result(boom)
+        assert failure.kind == "crash"
+        assert failure.exit_code == 3
+        assert failure.attempts == 1
+
+    def test_pool_hung_worker_is_killed_and_recorded(self):
+        from repro.exec.backend import failure_from_result
+        backend = ProcessPoolBackend(jobs=1, timeout=1.0,
+                                     fault_tolerant=True)
+        [result] = backend.run([misbehave_task("hang", "hang", seconds=60)])
+        failure = failure_from_result(result)
+        assert failure.kind == "timeout"
+        assert failure.timeout_seconds == 1.0
+
+    def test_pool_garbage_stdout_is_bad_output(self):
+        from repro.exec.backend import failure_from_result
+        backend = ProcessPoolBackend(jobs=1, fault_tolerant=True)
+        [result] = backend.run([misbehave_task("noise", "garbage-stdout")])
+        assert failure_from_result(result).kind == "bad-output"
+
+    def test_pool_fail_fast_raises_after_retries(self):
+        backend = ProcessPoolBackend(jobs=1, retries=1, retry_backoff=0.01)
+        with pytest.raises(RuntimeError, match=r"\[crash\] after 2"):
+            backend.run([misbehave_task("boom", "crash")])
+
+    def test_campaign_partial_results_with_failed_worker(self):
+        # A fault-tolerant campaign whose every worker times out still
+        # produces a merged report: one structured failure per task slot,
+        # claims all false, artifact round-trips.
+        sweep = tiny_sweep(seed=5)
+        backend = ProcessPoolBackend(jobs=1, timeout=0.05,
+                                     fault_tolerant=True)
+        report = CampaignRunner(sweep, backend=backend).run()
+        assert not report.passed
+        assert len(report.task_failures) == len(report.tasks) > 0
+        for failure in report.task_failures:
+            assert failure["kind"] == "timeout"
+            assert failure["attempts"] == 1
+        assert set(report.claims().values()) == {False}
+        round_tripped = CampaignReport.from_json(report.to_json())
+        assert round_tripped.task_failures == report.task_failures
+
+    def test_backend_for_jobs_forwards_fault_tolerance(self):
+        from repro.exec.backend import failure_from_result
+        backend = backend_for_jobs(1, fault_tolerant=True, retries=2)
+        [result] = backend.run([misbehave_task("boom", "crash")])
+        assert failure_from_result(result).attempts == 3
