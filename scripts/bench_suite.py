@@ -3,15 +3,16 @@
 
 Examples::
 
-    # full matrix, 3 repeats per case, write BENCH_5.json, compare against
-    # the previous committed BENCH_*.json (fails beyond +20 % wall time)
+    # full matrix, 3 repeats per case, write BENCH_6.json, compare against
+    # the previous committed BENCH_*.json (fails beyond +20 % wall time or
+    # +25 % peak RSS)
     python scripts/bench_suite.py
 
     # CI shape: quick subset, 2 repeats, compare against the committed
-    # baseline BENCH_5.json itself (quick/partial runs write
-    # BENCH_5.partial.json so the committed trail document is never
+    # baseline BENCH_6.json itself (quick/partial runs write
+    # BENCH_6.partial.json so the committed trail document is never
     # clobbered; pass --out to choose)
-    python scripts/bench_suite.py --quick --baseline BENCH_5.json
+    python scripts/bench_suite.py --quick --baseline BENCH_6.json
 
     # inspect the matrix
     python scripts/bench_suite.py --list
@@ -29,10 +30,12 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.perf.cases import BENCH_CASES  # noqa: E402
 from repro.perf.suite import (  # noqa: E402
     CURRENT_BENCH_ID,
+    DEFAULT_RSS_THRESHOLD,
     DEFAULT_THRESHOLD,
     bench_path,
     compare_benchmarks,
     find_previous_bench,
+    gating_rss,
     gating_wall,
     load_bench,
     run_suite,
@@ -64,6 +67,10 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="fail when a case's wall time exceeds baseline "
                              "by more than this fraction (default 0.20)")
+    parser.add_argument("--rss-threshold", type=float,
+                        default=DEFAULT_RSS_THRESHOLD,
+                        help="fail when a case's peak RSS exceeds baseline "
+                             "by more than this fraction (default 0.25)")
     parser.add_argument("--no-compare", action="store_true",
                         help="measure and write only; skip the regression gate")
     parser.add_argument("--list", action="store_true",
@@ -94,8 +101,11 @@ def main(argv=None) -> int:
 
     def progress(name, result):
         eps = result.get("events_per_sec")
-        rss = result.get("peak_rss_kb")
-        print(f"  {name:22s} {result['wall_seconds']:8.3f} s"
+        # Print both gating statistics per case: min-over-repeats wall and
+        # min-over-repeats RSS — exactly what the regression gate compares.
+        wall, _ = gating_wall(result)
+        rss, _ = gating_rss(result)
+        print(f"  {name:22s} {wall:8.3f} s"
               f"  {f'{eps:,} ev/s' if eps else '-':>16s}"
               f"  {f'{rss / 1024:.0f} MiB' if rss else '-':>9s}")
 
@@ -123,19 +133,24 @@ def main(argv=None) -> int:
         print("no previous BENCH_*.json found; skipping regression comparison")
         return 0
     baseline = load_bench(baseline_path)
-    regressions = compare_benchmarks(document, baseline, threshold=args.threshold)
-    # Name the gating statistic explicitly (one line per compared case):
-    # min-of-repeats where the repeat list exists, the single wall otherwise.
-    statistics = {gating_wall(result)[1]
-                  for result in document.get("cases", {}).values()}
+    regressions = compare_benchmarks(document, baseline,
+                                     threshold=args.threshold,
+                                     rss_threshold=args.rss_threshold)
+    # Name the gating statistics explicitly (one line per compared case):
+    # min-of-repeats where the repeat list exists, the single value otherwise.
+    statistics = set()
+    for result in document.get("cases", {}).values():
+        statistics.add(gating_wall(result)[1])
+        statistics.add(gating_rss(result)[1])
     print(f"compared against {baseline_path} "
-          f"(threshold +{args.threshold:.0%}, "
-          f"gating statistic: {', '.join(sorted(statistics)) or 'n/a'}):")
+          f"(wall threshold +{args.threshold:.0%}, "
+          f"RSS threshold +{args.rss_threshold:.0%}, "
+          f"gating statistics: {', '.join(sorted(statistics)) or 'n/a'}):")
     if regressions:
         for regression in regressions:
             print(f"  REGRESSION {regression}")
         return 1
-    print("  no wall-time regressions")
+    print("  no wall-time or peak-RSS regressions")
     return 0
 
 

@@ -15,9 +15,17 @@ Usage::
     python scripts/profile_hotpath.py --out storm.pstats # for snakeviz etc.
     python scripts/profile_hotpath.py --json prof.json   # structured top-N
 
+    # where do the *allocations* come from?  (tracemalloc, not cProfile)
+    python scripts/profile_hotpath.py core_50k_wheel --tracemalloc
+    python scripts/profile_hotpath.py --tracemalloc --json alloc.json
+
 Profiling overhead is large (~2-3x wall) and skews toward call-heavy code,
 so compare *shapes* between runs, never absolute times — the bench suite
-owns absolute numbers.
+owns absolute numbers.  ``--tracemalloc`` switches the instrument from time
+to memory: the run executes under :mod:`tracemalloc` and the report ranks
+source lines by bytes still allocated at the run's peak — the view that
+finds what the hot loops keep alive (pending event tuples, stats columns),
+complementing the RSS numbers the bench suite records per repeat.
 """
 
 from __future__ import annotations
@@ -55,6 +63,10 @@ def main(argv=None) -> int:
     parser.add_argument("--json", type=Path, default=None, dest="json_out",
                         help="also write the top-N rows as a structured JSON "
                              "artifact (for CI upload / trend tooling)")
+    parser.add_argument("--tracemalloc", action="store_true",
+                        help="profile allocations instead of time: run under "
+                             "tracemalloc and report the top-N allocation "
+                             "sites by bytes live at the run's peak")
     parser.add_argument("--list", action="store_true",
                         help="list the bench matrix and exit")
     args = parser.parse_args(argv)
@@ -75,6 +87,9 @@ def main(argv=None) -> int:
               "rebuild pure-Python (scripts/build_compiled_core.py --clean) "
               "for a full call tree")
 
+    if args.tracemalloc:
+        return run_tracemalloc(case, info, args)
+
     profiler = cProfile.Profile()
     profiler.enable()
     events, payload = case.run()
@@ -93,6 +108,57 @@ def main(argv=None) -> int:
             profile_payload(stats, case, events, info, args.sort, args.top),
             indent=2, sort_keys=True) + "\n")
         print(f"wrote JSON profile to {args.json_out}")
+    return 0
+
+
+def run_tracemalloc(case, info, args) -> int:
+    """The ``--tracemalloc`` mode: rank allocation sites by bytes live at
+    the run's peak (snapshot taken at the traced-memory high-water mark is
+    approximated by snapshotting right after the run, before teardown — the
+    pending-event backlog and every column are still alive then).
+
+    tracemalloc costs far more than cProfile (every allocation records a
+    traceback), so wall times in this mode mean nothing; the byte counts
+    are exact for everything allocated while tracing.
+    """
+    import tracemalloc
+
+    tracemalloc.start()
+    events, payload = case.run()
+    snapshot = tracemalloc.take_snapshot()
+    traced_current, traced_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del payload
+
+    if events:
+        print(f"events processed: {events:,}")
+    print(f"traced memory: {traced_current / 2**20:.1f} MiB live at end, "
+          f"{traced_peak / 2**20:.1f} MiB peak")
+    top = snapshot.statistics("lineno")
+    rows = []
+    for stat in top[:args.top]:
+        frame = stat.traceback[0]
+        rows.append({
+            "file": frame.filename,
+            "line": frame.lineno,
+            "size_bytes": stat.size,
+            "count": stat.count,
+        })
+        print(f"  {stat.size / 2**20:8.2f} MiB  {stat.count:>9,} blocks  "
+              f"{frame.filename}:{frame.lineno}")
+    if args.json_out is not None:
+        args.json_out.write_text(json.dumps({
+            "case": case.name,
+            "description": case.description,
+            "events": events,
+            "core": dict(info),
+            "mode": "tracemalloc",
+            "traced_current_bytes": traced_current,
+            "traced_peak_bytes": traced_peak,
+            "total_sites": len(top),
+            "top": rows,
+        }, indent=2, sort_keys=True) + "\n")
+        print(f"wrote JSON allocation profile to {args.json_out}")
     return 0
 
 

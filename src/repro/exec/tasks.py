@@ -90,22 +90,33 @@ def run_bench_case(payload: Dict[str, Any]) -> Dict[str, Any]:
     """
     from repro.perf.cases import get_case
 
+    try:
+        import resource
+
+        def _peak_rss_kb():
+            return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except ImportError:  # pragma: no cover - non-POSIX
+        def _peak_rss_kb():
+            return None
+
     name = payload["case"]
     repeats = max(int(payload.get("repeats", 1)), 1)
     case = get_case(name)
     walls = []
+    rss_all = []
     events = None
     for _ in range(repeats):
         start = time.perf_counter()  # repro: allow[no-ambient-nondeterminism]
         events, result_payload = case.run()
         walls.append(time.perf_counter() - start)  # repro: allow[no-ambient-nondeterminism]
         del result_payload
-    try:
-        import resource
-        peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    except ImportError:  # pragma: no cover - non-POSIX
-        peak_rss_kb = None
+        # Sampled after every repeat: ru_maxrss is a process-wide high-water
+        # mark, so the per-repeat trail is non-decreasing and its *first*
+        # entry (== min) is the cleanest memory statistic — later repeats can
+        # only inherit fragmentation from earlier ones, never undercut it.
+        rss_all.append(_peak_rss_kb())
     wall = min(walls)  # min is the stable statistic on noisy machines
+    have_rss = all(r is not None for r in rss_all)
     return {
         "name": name,
         "description": case.description,
@@ -113,7 +124,8 @@ def run_bench_case(payload: Dict[str, Any]) -> Dict[str, Any]:
         "wall_seconds_all": [round(w, 4) for w in walls],
         "events": events,
         "events_per_sec": round(events / wall) if events else None,
-        "peak_rss_kb": peak_rss_kb,
+        "peak_rss_kb": rss_all[-1] if have_rss else None,
+        "peak_rss_kb_all": rss_all if have_rss else None,
     }
 
 

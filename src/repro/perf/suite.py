@@ -28,10 +28,15 @@ from repro.exec.backend import ProcessPoolBackend, TaskSpec
 from repro.perf.cases import BENCH_CASES, QUICK_CASES, get_case
 
 #: Id of the bench file this tree writes (bumped by PRs that re-measure).
-CURRENT_BENCH_ID = 5
+CURRENT_BENCH_ID = 6
 
 #: Default wall-time regression tolerance (0.20 == fail beyond +20 %).
 DEFAULT_THRESHOLD = 0.20
+
+#: Default peak-RSS regression tolerance (0.25 == fail beyond +25 %).
+#: Memory is steadier than wall time across runs, but allocator noise and
+#: arena over-allocation justify a little more headroom than zero.
+DEFAULT_RSS_THRESHOLD = 0.25
 
 _BENCH_PATTERN = re.compile(r"BENCH_(\d+)\.json$")
 
@@ -41,24 +46,42 @@ _BENCH_PATTERN = re.compile(r"BENCH_(\d+)\.json$")
 GATE_STATISTIC_ALL = "min(wall_seconds_all)"
 #: Fallback statistic for results without the repeat list (pre-PR-6 files).
 GATE_STATISTIC_SINGLE = "wall_seconds"
+#: Memory statistic when the per-repeat RSS trail is recorded (its min is
+#: the first repeat's high-water mark — the cleanest memory reading).
+GATE_RSS_ALL = "min(peak_rss_kb_all)"
+#: Fallback memory statistic for documents written before the trail existed.
+GATE_RSS_SINGLE = "peak_rss_kb"
 
 
 @dataclass
 class Regression:
-    """One case whose wall time regressed beyond the threshold."""
+    """One case whose gated statistic regressed beyond its threshold.
+
+    Historically wall-time-only, hence the field names: ``baseline_wall`` /
+    ``current_wall`` hold the compared values for *whatever* ``metric`` says
+    (``"wall_seconds"`` or ``"peak_rss_kb"``) — keeping the original
+    positional construction ``Regression(case, baseline, current)`` valid.
+    """
 
     case: str
     baseline_wall: float
     current_wall: float
-    #: which statistic produced the compared walls (see
-    #: :data:`GATE_STATISTIC_ALL` / :data:`GATE_STATISTIC_SINGLE`)
+    #: which statistic produced the compared values (see
+    #: :data:`GATE_STATISTIC_ALL` / :data:`GATE_STATISTIC_SINGLE` /
+    #: :data:`GATE_RSS_ALL` / :data:`GATE_RSS_SINGLE`)
     statistic: str = GATE_STATISTIC_SINGLE
+    #: the regressed quantity: ``"wall_seconds"`` or ``"peak_rss_kb"``
+    metric: str = "wall_seconds"
 
     @property
     def ratio(self) -> float:
         return self.current_wall / self.baseline_wall
 
     def __str__(self) -> str:
+        if self.metric == "peak_rss_kb":
+            return (f"{self.case}: {self.baseline_wall:.0f}kB -> "
+                    f"{self.current_wall:.0f}kB peak RSS ({self.ratio:.2f}x, "
+                    f"gated on {self.statistic})")
         return (f"{self.case}: {self.baseline_wall:.3f}s -> "
                 f"{self.current_wall:.3f}s ({self.ratio:.2f}x, "
                 f"gated on {self.statistic})")
@@ -113,18 +136,21 @@ def run_suite(cases: Optional[Iterable[str]] = None, repeats: int = 3,
     return {
         "schema": 1,
         "bench_id": CURRENT_BENCH_ID,
-        "label": "PR 6: batched struct-of-arrays event core - windowed block "
-                 "drain, tuple fast records, batched RNG, GC pause, "
-                 "monotone-seq bucket sort",
+        "label": "PR 10: columnar node-state arena + vectorized delivery "
+                 "core - dense node/stat columns, channel-free fast records, "
+                 "density-adaptive wheel buckets",
         "notes": [
             "wall times are machine-dependent; compare ratios, not absolutes",
-            "BENCH_4 measured core_2k_wheel at 308k events/s on this "
-            "machine; the PR 6 block-drain engine re-measures the same "
-            "workload at >=1.8x per-event throughput with byte-identical "
+            "BENCH_5 measured core_2k_wheel at 582k events/s on this "
+            "machine; the PR 10 arena engine re-measures the same workload "
+            "at ~1.3x per-event throughput with byte-identical "
             "experiment/scenario reports (the golden suite pins this)",
-            "new core_20k_wheel / core_50k_wheel storm cases extend the "
-            "matrix to production scale; their per-event cost should track "
-            "core_2k_wheel within ~15%",
+            "large-storm scaling is the point of the arena: core_20k_wheel "
+            "and core_50k_wheel run ~2x their BENCH_5 throughput (flat "
+            "per-event cost past cache is the tentpole claim), and the new "
+            "core_100k_wheel case extends the matrix to 100k nodes",
+            "peak_rss_kb_all records the per-repeat RSS high-water trail; "
+            "the regression gate compares its min at a 25% threshold",
         ],
         "created_unix": round(time.time()),
         "python": platform.python_version(),
@@ -184,15 +210,36 @@ def gating_wall(result: Dict[str, object]) -> tuple[Optional[float], str]:
     return result.get("wall_seconds"), GATE_STATISTIC_SINGLE
 
 
+def gating_rss(result: Dict[str, object]) -> tuple[Optional[float], str]:
+    """The peak-RSS statistic the memory gate compares for ``result``.
+
+    Gates on the **minimum** of ``peak_rss_kb_all`` when the per-repeat
+    trail is recorded: ``ru_maxrss`` is a process-wide high-water mark, so
+    the trail is non-decreasing and its min (the first repeat) excludes
+    fragmentation later repeats accumulate on top.  Falls back to the single
+    ``peak_rss_kb`` field for older documents.  Returns
+    ``(rss_kb, statistic_name)``.
+    """
+    trail = result.get("peak_rss_kb_all")
+    if isinstance(trail, (list, tuple)) and trail and None not in trail:
+        return min(trail), GATE_RSS_ALL
+    return result.get("peak_rss_kb"), GATE_RSS_SINGLE
+
+
 def compare_benchmarks(current: Dict[str, object], baseline: Dict[str, object],
-                       threshold: float = DEFAULT_THRESHOLD) -> List[Regression]:
-    """Wall-time regressions of ``current`` vs ``baseline`` beyond
-    ``threshold`` (cases present in both documents; missing/new cases are
-    not regressions — the matrix is allowed to grow).  Each side is reduced
-    with :func:`gating_wall`; a reported :class:`Regression` records which
-    statistic gated it."""
+                       threshold: float = DEFAULT_THRESHOLD,
+                       rss_threshold: float = DEFAULT_RSS_THRESHOLD
+                       ) -> List[Regression]:
+    """Wall-time and peak-RSS regressions of ``current`` vs ``baseline``
+    beyond their thresholds (cases present in both documents; missing/new
+    cases are not regressions — the matrix is allowed to grow).  Walls are
+    reduced with :func:`gating_wall`, memory with :func:`gating_rss`; each
+    reported :class:`Regression` records which metric and statistic gated
+    it."""
     if threshold < 0:
         raise ValueError("threshold must be non-negative")
+    if rss_threshold < 0:
+        raise ValueError("rss_threshold must be non-negative")
     regressions: List[Regression] = []
     baseline_cases: Dict[str, Dict] = baseline.get("cases", {})
     for name, result in current.get("cases", {}).items():
@@ -201,9 +248,14 @@ def compare_benchmarks(current: Dict[str, object], baseline: Dict[str, object],
             continue
         base_wall, base_stat = gating_wall(base)
         wall, stat = gating_wall(result)
-        if not base_wall or not wall:
-            continue
-        if wall > base_wall * (1.0 + threshold):
+        if base_wall and wall and wall > base_wall * (1.0 + threshold):
             statistic = stat if stat == base_stat else f"{stat} vs {base_stat}"
             regressions.append(Regression(name, base_wall, wall, statistic))
+        base_rss, base_rss_stat = gating_rss(base)
+        rss, rss_stat = gating_rss(result)
+        if base_rss and rss and rss > base_rss * (1.0 + rss_threshold):
+            statistic = (rss_stat if rss_stat == base_rss_stat
+                         else f"{rss_stat} vs {base_rss_stat}")
+            regressions.append(Regression(name, base_rss, rss, statistic,
+                                          metric="peak_rss_kb"))
     return regressions

@@ -18,6 +18,7 @@ protocol participants, and :mod:`repro.sim.failure` adds crash injection plus
 the supervisor-side oracle failure detector used in Section 3.3 of the paper.
 """
 
+from repro.sim.arena import NodeArena
 from repro.sim.engine import Simulator, SimulatorConfig
 from repro.sim.network import Message, Network, ChannelStats
 from repro.sim.node import ProtocolNode, NodeRef
@@ -61,6 +62,7 @@ def core_build_info() -> dict:
 
 __all__ = [
     "core_build_info",
+    "NodeArena",
     "Simulator",
     "SimulatorConfig",
     "EventScheduler",

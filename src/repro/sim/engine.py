@@ -44,8 +44,14 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import heapq
 
+from repro.sim.arena import NodeArena
 from repro.sim.failure import CrashSchedule, FailureDetector
-from repro.sim.network import Message, Network, record_to_message
+from repro.sim.network import (
+    FAST_RECORD_KIND,
+    Message,
+    Network,
+    record_to_message,
+)
 from repro.sim.node import NodeRef, ProtocolNode
 from repro.sim.rng import BatchedRandom, BatchedUniform, derive_rng
 from repro.sim.scheduler import (
@@ -53,6 +59,7 @@ from repro.sim.scheduler import (
     EventScheduler,
     HeapScheduler,
     TimeoutWheelScheduler,
+    auto_bucket_width,
     make_scheduler,
 )
 from repro.sim.tracing import Tracer
@@ -132,8 +139,9 @@ _TIMEOUT = 1
 _CRASH = 2
 _CALL = 3
 #: Fast-record delivery: the event tuple IS the in-flight message record
-#: (see the ``REC_*`` layout in :mod:`repro.sim.network`).
-_DELIVER_FAST = 4
+#: (see the ``REC_*`` layout in :mod:`repro.sim.network`, which owns the
+#: canonical kind value — the network's introspection filters on it too).
+_DELIVER_FAST = FAST_RECORD_KIND
 
 _NEG_INF = float("-inf")
 
@@ -148,10 +156,10 @@ class Simulator:
     """
 
     __slots__ = ("config", "now", "network", "tracer", "failure_detector",
-                 "nodes", "_seq", "_delay_rng", "_delay_draws", "_jitter_rng",
-                 "_jitter_draws", "_adversary_rng", "_steps", "_special_times",
-                 "_block_end", "_block_interrupted", "_scheduler",
-                 "submit_message", "_send_fast", "_profile")
+                 "nodes", "arena", "_seq", "_delay_rng", "_delay_draws",
+                 "_jitter_rng", "_jitter_draws", "_adversary_rng", "_steps",
+                 "_special_times", "_block_end", "_block_interrupted",
+                 "_scheduler", "submit_message", "_send_fast", "_profile")
 
     def __init__(self, config: Optional[SimulatorConfig] = None) -> None:
         self.config = config or SimulatorConfig()
@@ -161,6 +169,11 @@ class Simulator:
         self.failure_detector = FailureDetector(self.config.detection_lag)
         self.failure_detector.attach(self)
         self.nodes: Dict[NodeRef, ProtocolNode] = {}
+        #: columnar hot-state store (dense node list, flat timeout counters,
+        #: liveness column, topic interning — see :mod:`repro.sim.arena`);
+        #: populated by :meth:`add_node`, consumed by the fused drain loops
+        self.arena = NodeArena()
+        self.arena.attach(self)
         self._seq = itertools.count()
         self._delay_rng = derive_rng(self.config.seed, "delay")
         #: pre-generated message-delay draws; bit-identical to calling
@@ -231,13 +244,19 @@ class Simulator:
           (external callers, injected messages);
         * ``_send_fast(sender, dest, action, topic, params)`` — the
           :meth:`ProtocolNode.send` path, which never builds a Message at
-          all: the in-flight record is one tuple serving as scheduler event
-          and channel entry simultaneously.
+          all: the in-flight record is one tuple living *only* in the
+          scheduler until delivery (PR 10: no channel entry, no message-id
+          draw — ``msg_id`` stays ``-1``; the crashed set answers "still
+          deliverable?" and the network's in-flight views read pending
+          records straight off the scheduler backlog).
 
         Both fuse the no-adversary branch of :meth:`Network.submit` (kept in
         sync with it — the semantics are pinned by the golden and parity
         tests); messages facing an adversary or a crashed destination take
-        the full method.  Live reads each call: ``self.now`` and
+        the full method.  On a custom (non-built-in) scheduler ``_send_fast``
+        degrades to the Message path wholesale: custom queues expose no
+        backlog iterator, so routing their traffic through the channels keeps
+        the in-flight views exact.  Live reads each call: ``self.now`` and
         ``network.adversary``.
         """
         network = self.network
@@ -246,6 +265,8 @@ class Simulator:
         crashed = network._crashed
         stats = network.stats
         sent = stats._sent
+        sent_cols = stats._sent_cols  # dense columnar half; grown in place
+        bump_column = stats._bump_column
         derived = stats._derived  # invalidated in place, never rebound
         msg_next = network._msg_counter.__next__
         delay_draws = self._delay_draws
@@ -270,6 +291,11 @@ class Simulator:
         elif is_heap:
             event_heap = scheduler._heap
         heappush = heapq.heappush
+        # The in-flight introspection needs to see the channel-free fast
+        # records _send_fast leaves in the scheduler; hand the network the
+        # backlog iterator (the base-class default yields nothing, matching
+        # the Message-path fallback custom schedulers get below).
+        network._pending_records = scheduler.iter_events
 
         def _fast_submit(msg: Message) -> None:
             dest = msg.dest
@@ -302,18 +328,33 @@ class Simulator:
 
         def _send_fast(sender: Optional[NodeRef], dest: NodeRef, action: str,
                        topic: Optional[str], params: Dict[str, Any]) -> None:
-            if network.adversary is not None or dest in crashed:
+            # repro: hotpath — one frame per ProtocolNode.send; repro.check
+            # flags per-event container/Message allocations added here
+            if network.adversary is not None or (crashed and dest in crashed):
+                # cold branch (adversary installed / dest already crashed)
+                # repro: allow[no-hotpath-allocation]
                 _fast_submit(Message(action=action, params=params,
                                      sender=sender, dest=dest, topic=topic))
                 return
-            msg_id = msg_next()
             now = self.now
             stats.total_sent += 1
-            key = (sender, action)
-            try:
-                sent[key] += 1
-            except KeyError:
-                sent[key] = 1
+            # Columnar sent counter for dense int senders: one action-keyed
+            # lookup in a handful-sized dict plus an int64 array store,
+            # replacing the (sender, action) tuple allocation and the
+            # n_nodes-sized dict update.  The exact type test keeps bools on
+            # the dict path (True would alias column row 1); the slow path
+            # creates/grows columns and caps forged huge ids.
+            if type(sender) is int and sender >= 0:
+                try:
+                    sent_cols[action][sender] += 1
+                except (KeyError, IndexError):
+                    bump_column(sent_cols, sent, sender, action)
+            else:
+                key = (sender, action)
+                try:
+                    sent[key] += 1
+                except KeyError:
+                    sent[key] = 1
             if derived:
                 derived.clear()
             if not delay_buffer:
@@ -321,13 +362,11 @@ class Simulator:
             deliver_time = now + delay_buffer.pop()
             # The record layout is pinned by the REC_* constants in
             # repro.sim.network: (deliver_time, seq, kind, dest, action,
-            # params, topic, sender, send_time, msg_id).
+            # params, topic, sender, send_time, msg_id).  msg_id is -1: the
+            # record lives only in the scheduler, there is no channel entry
+            # to key (and no counter draw to pay).
             record = (deliver_time, seq_next(), _DELIVER_FAST, dest, action,
-                      params, topic, sender, now, msg_id)
-            try:
-                channels[dest][msg_id] = record
-            except KeyError:
-                channels[dest] = {msg_id: record}
+                      params, topic, sender, now, -1)
             if is_wheel:
                 # inlined TimeoutWheelScheduler.push
                 index = int(deliver_time * inv_width)
@@ -338,15 +377,26 @@ class Simulator:
                     try:
                         buckets[index].append(record)
                     except KeyError:
+                        # amortised: one list per bucket, not per event
+                        # repro: allow[no-hotpath-allocation]
                         buckets[index] = [record]
                         heappush(bucket_heap, index)
-            elif is_heap:
-                heappush(event_heap, record)
             else:
-                scheduler_push(record)
+                heappush(event_heap, record)
+
+        def _send_via_message(sender: Optional[NodeRef], dest: NodeRef,
+                              action: str, topic: Optional[str],
+                              params: Dict[str, Any]) -> None:
+            # Custom-scheduler gear: no backlog iterator to surface records
+            # from, so every send keeps its channel entry by travelling as a
+            # full Message.  Observable semantics (stats, delay draws, event
+            # order) are identical to the record path.
+            _fast_submit(Message(action=action, params=params, sender=sender,
+                                 dest=dest, topic=topic))
 
         #: record-building fast path used by :meth:`ProtocolNode.send`
-        self._send_fast = _send_fast
+        self._send_fast = (_send_fast if is_wheel or is_heap
+                           else _send_via_message)
 
     # ------------------------------------------------------------------ nodes
     def add_node(self, node: ProtocolNode, schedule_timeout: bool = True) -> ProtocolNode:
@@ -355,6 +405,7 @@ class Simulator:
             raise ValueError(f"duplicate node id {node.node_id}")
         node.attach(self)
         self.nodes[node.node_id] = node
+        self.arena.add(node)
         if schedule_timeout:
             # Stagger the first timeout uniformly over one period so nodes do
             # not fire in lock-step.
@@ -453,6 +504,7 @@ class Simulator:
         if node is None or node.crashed:
             return
         node.crash()
+        self.arena.mark_crashed(node_id)
         self.network.mark_crashed(node_id)
         self.failure_detector.notify_crash(node_id, self.now)
         self.tracer.record(self.now, "crash", node=node_id)
@@ -529,6 +581,36 @@ class Simulator:
         next_in = period * (1 + self._jitter_draws.uniform(-jitter, jitter))
         self._push(self.now + next_in, _TIMEOUT, node_id)
 
+    def _maybe_retune_wheel(self) -> None:
+        """Adapt the wheel's bucket width to the registered node count.
+
+        The best bucket holds a few hundred events, but event density scales
+        with the node population (one timeout plus roughly one delivery per
+        node per period), which is unknown when the scheduler is built.  At
+        each run entry, when the width was auto-sized (no explicit
+        ``wheel_bucket_width``), re-target ``~256`` timeout events per bucket
+        and re-bucket the backlog when the current width is off by more than
+        2x (hysteresis — incremental node growth never churns the wheel).
+        Bucket width never affects event order, so runs stay byte-identical
+        per seed; the fused send path is re-bound because it captures the
+        reciprocal width by value.
+        """
+        scheduler = self._scheduler
+        if (type(scheduler) is not TimeoutWheelScheduler
+                or self.config.wheel_bucket_width is not None):
+            return
+        n = len(self.nodes)
+        if n == 0:
+            return
+        config = self.config
+        base = auto_bucket_width(config.timeout_period, config.min_delay,
+                                 config.max_delay, config.timeout_jitter)
+        desired = min(base, max(256.0 * config.timeout_period / n, 1e-9))
+        if 0.5 < desired / scheduler.bucket_width < 2.0:
+            return
+        scheduler.retune(desired)
+        self._bind_fast_submit()
+
     # ----------------------------------------------------------------- drivers
     def run_for(self, duration: float, max_steps: Optional[int] = None) -> None:
         """Run until simulation time advances by ``duration``."""
@@ -557,6 +639,7 @@ class Simulator:
         if max_steps is not None:
             self._run_until_time_bounded(deadline, max_steps)
             return
+        self._maybe_retune_wheel()
         # Pause the cyclic garbage collector for the duration of the run.
         # The hot loops allocate a tuple or two per event (records, timeout
         # events, stats keys), and every ~700 net allocations trigger a gen-0
@@ -612,6 +695,8 @@ class Simulator:
         in ``[t0, limit)`` is already in the scheduler when the window opens,
         and the block can be consumed with no per-event queue traffic.
         """
+        # repro: hotpath — the fused delivery/timeout drain; repro.check
+        # flags per-event container/Message allocations added to this loop
         scheduler = self._scheduler
         pop_block_into = scheduler.pop_block_into
         next_time = scheduler.next_time
@@ -632,11 +717,22 @@ class Simulator:
         seq_next = self._seq.__next__
         network = self.network
         channels = network._channels
+        crashed_set = network._crashed
         stats = network.stats
         received = stats._received
+        received_cols = stats._received_cols  # dense half; grown in place
+        bump_column = stats._bump_column
         derived = stats._derived
         nodes = self.nodes
         nodes_get = nodes.get
+        # Columnar arena state: the dense node list replaces the id->node
+        # hash on the hot lookups and the flat int64 column replaces the
+        # per-object counter bump.  Both buffers only ever grow IN PLACE
+        # (arena contract), so capturing them here stays valid across
+        # handler-driven add_node calls within the drain.
+        arena = self.arena
+        node_list = arena.nodes
+        timeout_counts = arena.timeout_count
         base_dispatch = ProtocolNode.dispatch
         config = self.config
         period = config.timeout_period
@@ -655,7 +751,7 @@ class Simulator:
         # Strict `< limit` window membership with an inclusive deadline:
         # events at exactly `deadline` belong to the run.
         beyond_deadline = math.nextafter(deadline, math.inf)
-        block: List[Any] = []
+        block: List[Any] = []  # repro: allow[no-hotpath-allocation] (setup)
         delivered = 0
         pushed = 0  # deferred wheel._count increments, flushed per block
         # Monomorphic dispatch cache: simulations overwhelmingly deliver one
@@ -713,29 +809,42 @@ class Simulator:
                     kind = event[2]
                     if kind == _DELIVER_FAST:
                         # Fused record delivery (in sync with
-                        # Network.pop_record): the event IS the channel
-                        # entry, so the channel pop is pure bookkeeping and
-                        # the O(1) stats counters update inline.  Subscript
-                        # misses only happen when the destination crashed
-                        # after the send.
+                        # Network.pop_record): records have no channel entry,
+                        # so "still deliverable?" is one membership test on
+                        # the crashed set (usually empty) and the O(1) stats
+                        # counters update inline.
                         dest = event[3]
-                        try:
-                            del channels[dest][event[9]]
-                        except KeyError:
+                        if crashed_set and dest in crashed_set:
                             continue  # destination crashed after the send
                         delivered += 1
                         action = event[4]
-                        stats_key = (dest, action)
+                        # Dense arena lookup; sparse/forged destinations fall
+                        # back to the id->node dict.  (A negative id must not
+                        # index the list — Python would alias it to the tail.)
                         try:
-                            received[stats_key] += 1
-                        except KeyError:
-                            received[stats_key] = 1
+                            node = node_list[dest] if dest >= 0 else None
+                        except (IndexError, TypeError):
+                            node = None
+                        if node is not None:
+                            # dense id: columnar received counter (no tuple
+                            # allocation, no n_nodes-sized dict probe)
+                            try:
+                                received_cols[action][dest] += 1
+                            except (KeyError, IndexError):
+                                bump_column(received_cols, received,
+                                            dest, action)
+                        else:
+                            stats_key = (dest, action)
+                            try:
+                                received[stats_key] += 1
+                            except KeyError:
+                                received[stats_key] = 1
                         if derived:
                             derived.clear()
-                        try:
-                            node = nodes[dest]
-                        except KeyError:
-                            continue
+                        if node is None:
+                            node = nodes_get(dest)
+                            if node is None:
+                                continue
                         if node.crashed:
                             continue
                         node_type = node.__class__
@@ -760,13 +869,21 @@ class Simulator:
                                 params["topic"] = topic
                             handler(node, **params)
                     elif kind == _TIMEOUT:
+                        nid = event[3]
                         try:
-                            node = nodes[event[3]]
-                        except KeyError:
-                            continue
-                        if node.crashed:
-                            continue
-                        node.timeout_count += 1
+                            node = node_list[nid] if nid >= 0 else None
+                        except (IndexError, TypeError):
+                            node = None
+                        if node is None:
+                            node = nodes_get(nid)
+                            if node is None or node.crashed:
+                                continue
+                            node.timeout_count += 1  # sparse-id property path
+                        else:
+                            if node.crashed:
+                                continue
+                            # flat-column bump, skipping the property frame
+                            timeout_counts[nid] += 1
                         node.on_timeout()
                         if not jitter_buffer:
                             jitter_refill()
@@ -786,6 +903,8 @@ class Simulator:
                                 try:
                                     buckets[index].append(timeout_event)
                                 except KeyError:
+                                    # amortised: one list per bucket
+                                    # repro: allow[no-hotpath-allocation]
                                     buckets[index] = [timeout_event]
                                     heappush(bucket_heap, index)
                         else:
@@ -876,6 +995,10 @@ class Simulator:
         seq = self._seq
         nodes = self.nodes
         nodes_get = nodes.get
+        # Same columnar captures as _run_blocks (in-place-growth contract).
+        arena = self.arena
+        node_list = arena.nodes
+        timeout_counts = arena.timeout_count
         network = self.network
         network_pop = network.pop
         pop_record = network.pop_record
@@ -987,10 +1110,19 @@ class Simulator:
                 handler(node, **params)
             elif kind == _TIMEOUT:
                 node_id = event[3]
-                node = nodes_get(node_id)
-                if node is None or node.crashed:
-                    continue
-                node.timeout_count += 1
+                try:
+                    node = node_list[node_id] if node_id >= 0 else None
+                except (IndexError, TypeError):
+                    node = None
+                if node is None:
+                    node = nodes_get(node_id)
+                    if node is None or node.crashed:
+                        continue
+                    node.timeout_count += 1  # sparse-id property path
+                else:
+                    if node.crashed:
+                        continue
+                    timeout_counts[node_id] += 1
                 node.on_timeout()
                 if not jitter_buffer:
                     jitter_refill()

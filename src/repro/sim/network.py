@@ -18,9 +18,10 @@ self-stabilization under conditions the paper's channel never exhibits.
 from __future__ import annotations
 
 import itertools
+from array import array
 from collections import Counter
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 
 @dataclass(slots=True)
@@ -112,6 +113,27 @@ REC_SENDER = 7
 REC_SEND_TIME = 8
 REC_MSG_ID = 9
 
+#: The scheduler event kind marking a fast-delivery record (canonical here;
+#: the engine's ``_DELIVER_FAST`` aliases it).  Only 10-tuple records carry
+#: it, so ``event[REC_KIND] == FAST_RECORD_KIND`` identifies records inside
+#: a mixed scheduler backlog without a length check.
+FAST_RECORD_KIND = 4
+
+# PR 10 (columnar arena) removed the per-destination channel entry for fast
+# records entirely: a record now lives *only* in the scheduler until its
+# delivery event fires, marked by ``msg_id == -1`` (no counter draw on the
+# send path).  "Is it still deliverable?" becomes a crashed-set test instead
+# of a channel pop — equivalent, because a record's channel entry could only
+# ever disappear through :meth:`Network.mark_crashed`.  The in-flight
+# introspection surfaces read pending records straight out of the scheduler
+# through :attr:`Network._pending_records`.
+
+#: dense-id ceiling for the columnar :class:`ChannelStats` store — node ids
+#: at or past this always count through the sparse dict half (bounds any one
+#: column at 8 MiB even against a forged id of 10**9; real deployments sit
+#: far below it).
+_STATS_COLUMN_CAP = 1 << 20
+
 
 def record_to_message(record: tuple) -> "Message":
     """Materialise a fast-path in-flight record into an equivalent
@@ -154,13 +176,27 @@ class ChannelStats:
     sees them.
     """
 
-    __slots__ = ("_sent", "_received", "_drops", "duplicated", "total_sent",
-                 "total_delivered", "delivery_latency", "_derived")
+    __slots__ = ("_sent", "_received", "_sent_cols", "_received_cols",
+                 "_drops", "duplicated", "total_sent", "total_delivered",
+                 "delivery_latency", "_derived")
 
     def __init__(self) -> None:
         #: raw (sender-or-None, action) -> count and (dest, action) -> count
+        #: — the *sparse* half of the store: non-int / negative node keys and
+        #: every count recorded through the Message paths
         self._sent: Dict[tuple, int] = {}
         self._received: Dict[tuple, int] = {}
+        #: columnar half (PR 10): ``action -> array('q')`` indexed by dense
+        #: node id.  The engine's fused loops bump ``cols[action][node]``
+        #: directly — one action-keyed lookup in a handful-sized dict plus an
+        #: int64 array store, instead of allocating a ``(node, action)``
+        #: tuple and updating a dict that grows to n_nodes x n_actions
+        #: entries (the dominant cache miss of large storms).  Columns grow
+        #: strictly in place (``array.extend``) so captured references stay
+        #: valid; every read-side surface merges both halves, so where a
+        #: count landed is unobservable.
+        self._sent_cols: Dict[str, "array[int]"] = {}
+        self._received_cols: Dict[str, "array[int]"] = {}
         #: drop reason -> count (see DROP_REASONS)
         self._drops: Dict[str, int] = {}
         #: extra copies created by adversarial duplication
@@ -230,30 +266,84 @@ class ChannelStats:
     def total_dropped(self) -> int:
         return sum(self._drops.values())
 
+    # -------------------------------------------------- columnar slow paths
+    def _bump_column(self, cols: Dict[str, "array[int]"],
+                     table: Dict[tuple, int], node_id: int,
+                     action: str) -> None:
+        """Create/grow the ``action`` column so ``node_id`` fits, then count
+        one event.  The hot loops call this only on their ``KeyError`` /
+        ``IndexError`` miss — first sight of an action, or a node id past the
+        column's current length.  Growth is in place (``array.extend``) so
+        captured column references stay valid.  Ids past
+        :data:`_STATS_COLUMN_CAP` land in the sparse ``table`` instead (a
+        forged id of 10**9 must not balloon the column)."""
+        if node_id >= _STATS_COLUMN_CAP:
+            key = (node_id, action)
+            table[key] = table.get(key, 0) + 1
+            return
+        col = cols.get(action)
+        if col is None:
+            col = cols[action] = array("q")
+        if node_id >= len(col):
+            # Geometric growth caps a population ramp at O(log n) reallocs;
+            # frombytes, not extend — extend(bytes) appends one item per BYTE.
+            grow = max(node_id + 1, 2 * len(col)) - len(col)
+            col.frombytes(bytes(8 * grow))
+        col[node_id] += 1
+
+    @staticmethod
+    def _iter_counts(table: Dict[tuple, int], cols: Dict[str, "array[int]"]
+                     ) -> Iterator[Tuple[tuple, int]]:
+        """Yield ``((node, action), count)`` pairs across both halves of a
+        store (sparse dict + dense columns), skipping zero column rows."""
+        yield from table.items()
+        for action, col in cols.items():
+            for node_id, count in enumerate(col):
+                if count:
+                    yield (node_id, action), count
+
+    def _merged(self, table: Dict[tuple, int], cols: Dict[str, "array[int]"]
+                ) -> Dict[tuple, int]:
+        """Fold the dense columns of a store into dict form (cold paths:
+        snapshot/delta).  Keys colliding across the halves are summed."""
+        merged = dict(table)
+        for action, col in cols.items():
+            for node_id, count in enumerate(col):
+                if count:
+                    key = (node_id, action)
+                    merged[key] = merged.get(key, 0) + count
+        return merged
+
     # ---------------------------------------------------------- derived views
     def _view(self, name: str) -> Counter:
         view = self._derived.get(name)
         if view is None:
             view = Counter()
             if name == "sent_by_node":
-                for (node, _action), count in self._sent.items():
+                for (node, _action), count in self._iter_counts(
+                        self._sent, self._sent_cols):
                     if node is not None:
                         view[node] += count
             elif name == "sent_by_action":
-                for (_node, action), count in self._sent.items():
+                for (_node, action), count in self._iter_counts(
+                        self._sent, self._sent_cols):
                     view[action] += count
             elif name == "sent_by_node_action":
-                for (node, action), count in self._sent.items():
+                for (node, action), count in self._iter_counts(
+                        self._sent, self._sent_cols):
                     if node is not None:
                         view[(node, action)] += count
             elif name == "received_by_node":
-                for (node, _action), count in self._received.items():
+                for (node, _action), count in self._iter_counts(
+                        self._received, self._received_cols):
                     view[node] += count
             elif name == "received_by_action":
-                for (_node, action), count in self._received.items():
+                for (_node, action), count in self._iter_counts(
+                        self._received, self._received_cols):
                     view[action] += count
             elif name == "received_by_node_action":
-                for (node, action), count in self._received.items():
+                for (node, action), count in self._iter_counts(
+                        self._received, self._received_cols):
                     view[(node, action)] += count
             else:  # pragma: no cover - programming error
                 raise KeyError(name)
@@ -289,13 +379,25 @@ class ChannelStats:
         """Number of messages delivered to ``node_id`` (optionally one action)."""
         if action is None:
             return self._view("received_by_node")[node_id]
-        return self._received.get((node_id, action), 0)
+        count = self._received.get((node_id, action), 0)
+        col = self._received_cols.get(action)
+        # isinstance, not an exact type test: True must alias column row 1
+        # exactly as it aliases the dict key (1, action).
+        if (col is not None and isinstance(node_id, int)
+                and 0 <= node_id < len(col)):
+            count += col[node_id]
+        return count
 
     def sent_by(self, node_id: int, action: Optional[str] = None) -> int:
         """Number of messages sent by ``node_id`` (optionally one action)."""
         if action is None:
             return self._view("sent_by_node")[node_id]
-        return self._sent.get((node_id, action), 0)
+        count = self._sent.get((node_id, action), 0)
+        col = self._sent_cols.get(action)
+        if (col is not None and isinstance(node_id, int)
+                and 0 <= node_id < len(col)):
+            count += col[node_id]
+        return count
 
     def to_summary_dict(self, include_latency: Optional[bool] = None
                         ) -> Dict[str, object]:
@@ -327,8 +429,10 @@ class ChannelStats:
     def snapshot(self) -> "ChannelStats":
         """Return a deep copy usable as a baseline for differential counting."""
         clone = ChannelStats()
-        clone._sent = dict(self._sent)
-        clone._received = dict(self._received)
+        # Fold the columns into dict form: snapshots are cold baselines, and
+        # dict shape keeps delta() independent of where a count landed.
+        clone._sent = self._merged(self._sent, self._sent_cols)
+        clone._received = self._merged(self._received, self._received_cols)
         clone._drops = dict(self._drops)
         clone.duplicated = self.duplicated
         clone.total_sent = self.total_sent
@@ -342,8 +446,12 @@ class ChannelStats:
         both sides carry a latency histogram the delta carries the bucket
         difference too (differential per-phase latency accounting)."""
         diff = ChannelStats()
-        diff._sent = _dict_delta(self._sent, baseline._sent)
-        diff._received = _dict_delta(self._received, baseline._received)
+        diff._sent = _dict_delta(
+            self._merged(self._sent, self._sent_cols),
+            baseline._merged(baseline._sent, baseline._sent_cols))
+        diff._received = _dict_delta(
+            self._merged(self._received, self._received_cols),
+            baseline._merged(baseline._received, baseline._received_cols))
         diff._drops = _dict_delta(self._drops, baseline._drops)
         diff.duplicated = self.duplicated - baseline.duplicated
         diff.total_sent = self.total_sent - baseline.total_sent
@@ -378,7 +486,7 @@ class Network:
     """
 
     __slots__ = ("min_delay", "max_delay", "_channels", "_msg_counter",
-                 "stats", "_crashed", "adversary")
+                 "stats", "_crashed", "adversary", "_pending_records")
 
     def __init__(self, min_delay: float = 0.1, max_delay: float = 1.0) -> None:
         if min_delay <= 0 or max_delay < min_delay:
@@ -400,6 +508,11 @@ class Network:
         #: :class:`repro.scenarios.adversary.LinkAdversary`).  ``None`` keeps
         #: the paper's fault model: no loss, no duplication, finite delays.
         self.adversary = None
+        #: zero-arg callable yielding the scheduler's pending events (the
+        #: simulator binds ``scheduler.iter_events`` here), used by the
+        #: in-flight introspection to see channel-free fast records.  ``None``
+        #: for a standalone network — then channels are the whole truth.
+        self._pending_records = None
 
     # ------------------------------------------------------------------ admin
     def install_adversary(self, adversary) -> None:
@@ -567,12 +680,22 @@ class Network:
         an adversary installed *since* the send (e.g. between scenario runs
         with traffic still in flight) vetoed delivery.  The record is only
         materialised into a :class:`Message` on that rare adversarial check.
+
+        Channel-free records (``msg_id == -1``, the only kind the engine has
+        produced since PR 10) replace the channel pop with a crashed-set
+        test — the two are equivalent because only :meth:`mark_crashed` could
+        remove a record's channel entry.  The legacy branch stays for records
+        with a real ``msg_id`` (hand-built fixtures, pre-migration state).
         """
-        channel = self._channels.get(record[REC_DEST])
-        if channel is None:
-            return False
-        if channel.pop(record[REC_MSG_ID], None) is None:
-            return False
+        if record[REC_MSG_ID] == -1:
+            if record[REC_DEST] in self._crashed:
+                return False
+        else:
+            channel = self._channels.get(record[REC_DEST])
+            if channel is None:
+                return False
+            if channel.pop(record[REC_MSG_ID], None) is None:
+                return False
         adversary = self.adversary
         if adversary is not None:
             reason = adversary.on_deliver(record_to_message(record),
@@ -593,23 +716,50 @@ class Network:
         return True
 
     # ------------------------------------------------------------ inspection
+    def _iter_pending_fast(self) -> Iterator[tuple]:
+        """Yield the channel-free fast records still awaiting delivery.
+
+        Pulled from the scheduler backlog (:attr:`_pending_records`),
+        filtered down to records whose destination is alive — exactly the
+        records the old per-destination channels would have held.  Records
+        addressed to crashed nodes stay queued (the engine skips them at
+        delivery time), so they are filtered here the way
+        :meth:`mark_crashed` used to discard their channel entries.
+        """
+        source = self._pending_records
+        if source is None:
+            return
+        crashed = self._crashed
+        for event in source():
+            if event[REC_KIND] == FAST_RECORD_KIND and event[REC_DEST] not in crashed:
+                yield event
+
     def channel_of(self, node_id: int) -> List[Message]:
-        """Return the in-flight messages currently in ``node_id``'s channel
+        """Return the in-flight messages currently addressed to ``node_id``
         (fast-path records materialised into :class:`Message` instances)."""
-        return [_materialise(entry)
-                for entry in self._channels.get(node_id, {}).values()]
+        out = [_materialise(entry)
+               for entry in self._channels.get(node_id, {}).values()]
+        if node_id not in self._crashed:
+            out.extend(record_to_message(event)
+                       for event in self._iter_pending_fast()
+                       if event[REC_DEST] == node_id)
+        return out
 
     def in_flight(self) -> int:
-        """Total number of undelivered messages across all channels."""
-        return sum(len(ch) for ch in self._channels.values())
+        """Total number of undelivered messages (channel entries plus
+        channel-free fast records pending in the scheduler)."""
+        return (sum(len(ch) for ch in self._channels.values())
+                + sum(1 for _ in self._iter_pending_fast()))
 
     def iter_in_flight(self) -> Iterator[Message]:
         for channel in self._channels.values():
             for entry in channel.values():
                 yield record_to_message(entry) if type(entry) is tuple else entry
+        for event in self._iter_pending_fast():
+            yield record_to_message(event)
 
     def implicit_edges(self) -> List[tuple[int, int]]:
-        """Edges ``(u, v)`` where a message in ``u``'s channel carries a
+        """Edges ``(u, v)`` where a message in flight to ``u`` carries a
         reference to ``v`` (the paper's *implicit* edges).
 
         Reference-carrying parameters are recognised by convention: any
@@ -618,15 +768,20 @@ class Network:
         Reads fast-path records in place — no materialisation needed.
         """
         edges = []
+
+        def _collect(dest: int, params: Dict[str, Any]) -> None:
+            for key, value in params.items():
+                if not isinstance(value, int):
+                    continue
+                if key in ("node", "ref", "pred", "succ", "sender") or key.endswith("_ref"):
+                    edges.append((dest, value))
+
         for channel in self._channels.values():
             for entry in channel.values():
                 if type(entry) is tuple:
-                    dest, params = entry[REC_DEST], entry[REC_PARAMS]
+                    _collect(entry[REC_DEST], entry[REC_PARAMS])
                 else:
-                    dest, params = entry.dest, entry.params
-                for key, value in params.items():
-                    if not isinstance(value, int):
-                        continue
-                    if key in ("node", "ref", "pred", "succ", "sender") or key.endswith("_ref"):
-                        edges.append((dest, value))
+                    _collect(entry.dest, entry.params)
+        for event in self._iter_pending_fast():
+            _collect(event[REC_DEST], event[REC_PARAMS])
         return edges

@@ -149,6 +149,19 @@ class EventScheduler:
         """Timestamp of the earliest pending event, or ``None`` when empty."""
         raise NotImplementedError
 
+    def iter_events(self):
+        """Iterate over every pending event in **arbitrary** order.
+
+        A cold introspection surface: the network's in-flight views read
+        channel-free fast-delivery records (PR 10) straight out of the queue
+        through it, and the arena derives per-node timeout deadlines from it.
+        The iterator must not be used across a mutation (push/pop).  The
+        default yields nothing, so custom schedulers stay correct for the
+        engine (which routes their sends through Message channels) and may
+        override to expose their backlog.
+        """
+        return iter(())
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -202,6 +215,9 @@ class HeapScheduler(EventScheduler):
 
     def next_time(self) -> Optional[float]:
         return self._heap[0][0] if self._heap else None
+
+    def iter_events(self):
+        return iter(self._heap)
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -388,6 +404,56 @@ class TimeoutWheelScheduler(EventScheduler):
             if not current:
                 return None
         return current[-1][0]
+
+    def retune(self, bucket_width: float) -> None:
+        """Re-bucket every pending event under a new bucket width.
+
+        Bucket width never affects emission order (the ``(time, seq)``
+        contract is width-independent), only the append/sort balance — so
+        retuning between drains keeps runs byte-identical per seed.  The
+        engine uses this to adapt the width to the registered node count:
+        the best bucket holds a few hundred events, and event density scales
+        with the node population, which is unknown when the wheel is built.
+
+        Buffers are mutated in place, but callers holding fused closures
+        over the wheel internals must rebind them afterwards — they capture
+        the reciprocal width *by value*.  The pending events are re-pushed
+        in ascending ``(time, seq)`` order, which restores the
+        :attr:`monotone_seq` promise for every rebuilt bucket.
+        """
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        if bucket_width == self.bucket_width:
+            return
+        events = list(self._current)
+        for bucket in self._buckets.values():
+            events.extend(bucket)
+        # (time, seq) is unique at positions 0-1, so the tuple sort never
+        # compares payloads (records carry dicts, which do not order).
+        events.sort()
+        self.bucket_width = bucket_width
+        self._inv_width = inv = 1.0 / bucket_width
+        buckets = self._buckets
+        heap = self._bucket_heap
+        buckets.clear()
+        del heap[:]
+        del self._current[:]
+        # -1 sorts below every non-negative timestamp's index, so every
+        # re-push and every later push lands in a future bucket.
+        self._current_index = -1
+        for event in events:
+            index = int(event[0] * inv)
+            try:
+                buckets[index].append(event)
+            except KeyError:
+                buckets[index] = [event]
+                heap.append(index)
+        heap.sort()  # sorted unique ints are already a valid heap
+
+    def iter_events(self):
+        yield from self._current
+        for bucket in self._buckets.values():
+            yield from bucket
 
     def __len__(self) -> int:
         return self._count

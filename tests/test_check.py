@@ -31,11 +31,12 @@ def run_rule(rule_id, *paths, root=None):
 
 # --------------------------------------------------------------------- rules
 class TestRuleRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         ids = {cls.id for cls in available_rules()}
         assert ids == {
             "hook-signature",
             "no-ambient-nondeterminism",
+            "no-hotpath-allocation",
             "no-unsorted-iteration-into-output",
             "rng-discipline",
             "slots-complete",
@@ -114,6 +115,61 @@ class TestHookSignatureRule:
         messages = " ".join(f.message for f in result.findings)
         assert "subscribe" in messages and "delivery" in messages
         assert "phase" not in messages
+
+
+class TestHotpathAllocationRule:
+    FIXTURE = FIXTURES / "repro" / "sim" / "bad_hotpath.py"
+
+    def test_flags_displays_comprehensions_and_message(self):
+        result = run_rule("no-hotpath-allocation", self.FIXTURE,
+                          root=FIXTURES)
+        messages = [f.message for f in result.findings]
+        assert len(result.findings) == 6
+        assert sum("dict display" in m for m in messages) == 1
+        assert sum("list display" in m for m in messages) == 2
+        assert sum("set display" in m for m in messages) == 1
+        assert sum("set comprehension" in m for m in messages) == 1
+        assert sum("Message(...)" in m for m in messages) == 1
+
+    def test_marker_scopes_to_innermost_function(self):
+        # The marked closure is budgeted; its enclosing builder's setup
+        # dict and the unmarked cold_summary allocations are not.
+        result = run_rule("no-hotpath-allocation", self.FIXTURE,
+                          root=FIXTURES)
+        assert any("pump()" in f.message for f in result.findings)
+        assert not any("bind_pump()" in f.message for f in result.findings)
+        assert not any("cold_summary()" in f.message
+                       for f in result.findings)
+        assert not any("warmed_up()" in f.message for f in result.findings)
+
+    def test_pragma_waives_cold_branch(self):
+        result = run_rule("no-hotpath-allocation", self.FIXTURE,
+                          root=FIXTURES)
+        assert not any("fallback_send()" in f.message
+                       for f in result.findings)
+        assert result.suppressed == 1
+
+    def test_rule_scoped_to_sim_modules(self, tmp_path):
+        outside = tmp_path / "hot_elsewhere.py"
+        outside.write_text(
+            "def f(items):\n"
+            "    # repro: hotpath\n"
+            "    return [{'k': i} for i in items]\n")
+        result = run_rule("no-hotpath-allocation", outside, root=tmp_path)
+        assert result.findings == []
+
+    def test_engine_hot_loops_stay_clean(self):
+        # The real marked functions (engine._send_fast / _run_blocks) must
+        # carry pragmas on every deliberate allocation — this is the same
+        # invariant CI's strict-baseline gate enforces, pinned here so a
+        # local pytest run catches a regression without the CLI.
+        engine_py = REPO_ROOT / "src" / "repro" / "sim" / "engine.py"
+        source = engine_py.read_text()
+        assert source.count("# repro: hotpath") >= 2
+        result = run_rule("no-hotpath-allocation", engine_py,
+                          root=REPO_ROOT / "src")
+        assert result.findings == []
+        assert result.suppressed >= 2
 
 
 class TestSpecFieldCoverageRule:
